@@ -1,0 +1,383 @@
+(* bncg — command-line interface to the basic network creation game library.
+
+   Subcommands: generate, info, check, dynamics, census, experiment. Graphs
+   cross the CLI boundary as graph6 strings so results can be piped between
+   invocations and into external tools. *)
+
+open Cmdliner
+
+(* --- shared helpers ---------------------------------------------------- *)
+
+let opt_cell = function Some d -> string_of_int d | None -> "inf"
+
+let graph_summary g =
+  Printf.printf "n = %d, m = %d\n" (Graph.n g) (Graph.m g);
+  Printf.printf "connected: %b\n" (Components.is_connected g);
+  Printf.printf "diameter: %s\n" (opt_cell (Metrics.diameter g));
+  Printf.printf "radius: %s\n" (opt_cell (Metrics.radius g));
+  Printf.printf "girth: %s\n"
+    (match Metrics.girth g with Some x -> string_of_int x | None -> "- (forest)");
+  Printf.printf "degrees: min %d, max %d\n" (Graph.min_degree g) (Graph.max_degree g);
+  (match Metrics.wiener_index g with
+  | Some w -> Printf.printf "wiener index: %d (social sum cost %d)\n" w (2 * w)
+  | None -> ());
+  Printf.printf "graph6: %s\n" (Graph6.encode g)
+
+let version_conv =
+  let parse = function
+    | "sum" -> Ok Usage_cost.Sum
+    | "max" -> Ok Usage_cost.Max
+    | s -> Error (`Msg (Printf.sprintf "unknown version %S (expected sum or max)" s))
+  in
+  Arg.conv (parse, Usage_cost.pp_version)
+
+let graph6_arg =
+  let doc = "The graph, as a graph6 string (as printed by $(b,bncg generate))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH6" ~doc)
+
+let decode_graph s =
+  try Ok (Graph6.decode s) with Invalid_argument msg -> Error msg
+
+(* --- generate ----------------------------------------------------------- *)
+
+let generate_families =
+  [
+    ("star", `Star);
+    ("double-star", `Double_star);
+    ("path", `Path);
+    ("cycle", `Cycle);
+    ("complete", `Complete);
+    ("hypercube", `Hypercube);
+    ("petersen", `Petersen);
+    ("torus", `Torus);
+    ("torus-d", `Torus_d);
+    ("theorem5", `Theorem5);
+    ("witness", `Witness);
+    ("polarity", `Polarity);
+    ("tree", `Tree);
+    ("gnm", `Gnm);
+  ]
+
+let generate family n k dim seed edges_out =
+  let rng = Prng.create seed in
+  let need_n what = match n with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "--n is required for %s" what)
+  in
+  let g =
+    match family with
+    | `Star -> Generators.star (need_n "star")
+    | `Double_star -> Generators.double_star (need_n "double-star") k
+    | `Path -> Generators.path (need_n "path")
+    | `Cycle -> Generators.cycle (need_n "cycle")
+    | `Complete -> Generators.complete (need_n "complete")
+    | `Hypercube -> Generators.hypercube (need_n "hypercube")
+    | `Petersen -> Generators.petersen ()
+    | `Torus -> Constructions.torus k
+    | `Torus_d -> Constructions.torus_d ~dim k
+    | `Theorem5 -> Constructions.theorem5_graph
+    | `Witness -> Constructions.sum_diameter3_witness
+    | `Polarity -> Polarity.polarity_graph k
+    | `Tree -> Random_graphs.tree rng (need_n "tree")
+    | `Gnm ->
+      let n = need_n "gnm" in
+      Random_graphs.connected_gnm rng n (max (n - 1) (2 * n))
+  in
+  (match edges_out with
+  | `Graph6 -> print_endline (Graph6.encode g)
+  | `Edges -> print_string (Graph_io.to_edge_list g)
+  | `Dot -> print_string (Graph_io.to_dot g));
+  `Ok ()
+
+let generate_cmd =
+  let family =
+    let doc =
+      "Graph family: " ^ String.concat ", " (List.map fst generate_families) ^ "."
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum generate_families)) None
+      & info [] ~docv:"FAMILY" ~doc)
+  in
+  let n = Arg.(value & opt (some int) None & info [ "n" ] ~doc:"Vertex count.") in
+  let k =
+    Arg.(value & opt int 3 & info [ "k" ] ~doc:"Family parameter (torus k, polarity q, double-star second arm, ...).")
+  in
+  let dim = Arg.(value & opt int 2 & info [ "dim" ] ~doc:"Torus dimension.") in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let edges =
+    Arg.(
+      value
+      & opt (enum [ ("graph6", `Graph6); ("edges", `Edges); ("dot", `Dot) ]) `Graph6
+      & info [ "format" ] ~doc:"Output format: graph6 (default), edges, or dot.")
+  in
+  let run family n k dim seed edges =
+    try generate family n k dim seed edges
+    with Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a graph from a named family")
+    Term.(ret (const run $ family $ n $ k $ dim $ seed $ edges))
+
+(* --- info ---------------------------------------------------------------- *)
+
+let info_cmd =
+  let run g6 =
+    match decode_graph g6 with
+    | Error msg -> `Error (false, msg)
+    | Ok g ->
+      graph_summary g;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print structural metrics of a graph")
+    Term.(ret (const run $ graph6_arg))
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check version g6 =
+  match decode_graph g6 with
+  | Error msg -> `Error (false, msg)
+  | Ok g ->
+    let verdict =
+      match version with
+      | Usage_cost.Sum -> Equilibrium.check_sum g
+      | Usage_cost.Max -> Equilibrium.check_max g
+    in
+    Printf.printf "version: %s\n" (Usage_cost.version_name version);
+    Printf.printf "verdict: %s\n" (Format.asprintf "%a" Equilibrium.pp_verdict verdict);
+    Printf.printf "diameter: %s\n" (opt_cell (Metrics.diameter g));
+    (match version with
+    | Usage_cost.Max ->
+      Printf.printf "deletion-critical: %b\n" (Equilibrium.is_deletion_critical g);
+      Printf.printf "insertion-stable: %b\n" (Equilibrium.is_insertion_stable g);
+      (match Equilibrium.eccentricity_spread g with
+      | Some s -> Printf.printf "eccentricity spread: %d\n" s
+      | None -> ())
+    | Usage_cost.Sum -> ());
+    `Ok ()
+
+let check_cmd =
+  let version =
+    Arg.(value & opt version_conv Usage_cost.Sum & info [ "game" ] ~doc:"Game version: sum or max.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check whether a graph is a swap equilibrium")
+    Term.(ret (const check $ version $ graph6_arg))
+
+(* --- dynamics --------------------------------------------------------------- *)
+
+let dynamics version n init seed max_rounds trace =
+  let rng = Prng.create seed in
+  let g =
+    match init with
+    | `Tree -> Random_graphs.tree rng n
+    | `Gnm -> Random_graphs.connected_gnm rng n (2 * n)
+    | `Path -> Generators.path n
+    | `Cycle -> Generators.cycle n
+  in
+  let cfg =
+    { (Dynamics.default_config version) with Dynamics.max_rounds; record_trace = trace }
+  in
+  let r = Dynamics.run ~rng cfg g in
+  Printf.printf "outcome: %s\n" (Exp_common.outcome_name r.Dynamics.outcome);
+  Printf.printf "rounds: %d, moves: %d\n" r.Dynamics.rounds r.Dynamics.moves;
+  Printf.printf "final m: %d, diameter: %s\n" (Graph.m r.Dynamics.final)
+    (opt_cell (Metrics.diameter r.Dynamics.final));
+  let verified =
+    match version with
+    | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium r.Dynamics.final
+    | Usage_cost.Max -> Equilibrium.is_max_equilibrium r.Dynamics.final
+  in
+  Printf.printf "equilibrium verified: %b\n" verified;
+  Printf.printf "final graph6: %s\n" (Graph6.encode r.Dynamics.final);
+  if trace then begin
+    Printf.printf "\n%-6s %-24s %8s %10s %9s\n" "step" "move" "delta" "social" "diameter";
+    List.iter
+      (fun s ->
+        Printf.printf "%-6d %-24s %8d %10d %9d\n" s.Dynamics.index
+          (Swap.move_to_string s.Dynamics.move)
+          s.Dynamics.delta s.Dynamics.social s.Dynamics.diameter)
+      r.Dynamics.trace
+  end;
+  `Ok ()
+
+let dynamics_cmd =
+  let version =
+    Arg.(value & opt version_conv Usage_cost.Sum & info [ "game" ] ~doc:"sum or max.")
+  in
+  let n = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Number of agents.") in
+  let init =
+    Arg.(
+      value
+      & opt (enum [ ("tree", `Tree); ("gnm", `Gnm); ("path", `Path); ("cycle", `Cycle) ]) `Tree
+      & info [ "init" ] ~doc:"Initial network: tree, gnm, path, cycle.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let rounds = Arg.(value & opt int 10_000 & info [ "max-rounds" ] ~doc:"Round cap.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the move-by-move trace.") in
+  Cmd.v
+    (Cmd.info "dynamics" ~doc:"Run best-response swap dynamics to equilibrium")
+    Term.(ret (const dynamics $ version $ n $ init $ seed $ rounds $ trace))
+
+(* --- census --------------------------------------------------------------- *)
+
+let census version n trees =
+  if trees then begin
+    let c = Census.tree_census version n in
+    Printf.printf "labeled trees: %d\n" c.Census.total;
+    Printf.printf "equilibria: %d (stars %d, double stars %d)\n" c.Census.equilibria
+      c.Census.stars c.Census.double_stars;
+    Printf.printf "max equilibrium diameter: %d\n" c.Census.max_eq_diameter;
+    `Ok ()
+  end
+  else begin
+    let c = Census.graph_census version n in
+    Printf.printf "connected graphs: %d\n" c.Census.connected;
+    Printf.printf "equilibria: %d labeled, %d up to isomorphism\n"
+      c.Census.equilibria_labeled
+      (List.length c.Census.equilibria_iso);
+    Printf.printf "diameter histogram: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (d, k) -> Printf.sprintf "%d -> %d" d k)
+            c.Census.diameter_histogram));
+    List.iter
+      (fun g -> Printf.printf "  representative: %s\n" (Graph6.encode g))
+      c.Census.equilibria_iso;
+    `Ok ()
+  end
+
+let census_cmd =
+  let version =
+    Arg.(value & opt version_conv Usage_cost.Sum & info [ "game" ] ~doc:"sum or max.")
+  in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Vertex count (graphs <= 8, trees <= 10).") in
+  let trees = Arg.(value & flag & info [ "trees" ] ~doc:"Census over trees instead of all connected graphs.") in
+  let run version n trees =
+    try census version n trees with Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "census" ~doc:"Exhaustively classify equilibria on small vertex counts")
+    Term.(ret (const run $ version $ n $ trees))
+
+(* --- experiment -------------------------------------------------------------- *)
+
+let experiment id list_only =
+  if list_only then begin
+    List.iter
+      (fun e ->
+        Printf.printf "%-4s %-30s %s%s\n" e.Experiments.id e.Experiments.paper_item
+          e.Experiments.title
+          (if e.Experiments.heavy then " [heavy]" else ""))
+      Experiments.all;
+    `Ok ()
+  end
+  else
+    match id with
+    | None ->
+      Experiments.run_default ();
+      `Ok ()
+    | Some "all" ->
+      Experiments.run_default ();
+      `Ok ()
+    | Some "everything" ->
+      Experiments.run_everything ();
+      `Ok ()
+    | Some id -> (
+      match Experiments.find id with
+      | Some e ->
+        e.Experiments.run ();
+        `Ok ()
+      | None -> `Error (false, Printf.sprintf "unknown experiment %S (try --list)" id))
+
+let experiment_cmd =
+  let id =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (E1..E14), 'all', or 'everything'.")
+  in
+  let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce the paper's theorem/figure tables")
+    Term.(ret (const experiment $ id $ list_only))
+
+(* --- hunt ---------------------------------------------------------------- *)
+
+let hunt n target_diameter steps seed game =
+  let rng = Prng.create seed in
+  let cfg = { (Hunt.default_config ~version:game ~n ~target_diameter ()) with Hunt.steps } in
+  let r = Hunt.run rng cfg in
+  (match r.Hunt.found with
+  | Some g ->
+    Printf.printf "found a %s equilibrium with diameter >= %d on %d vertices:\n"
+      (Usage_cost.version_name game) target_diameter n;
+    Printf.printf "graph6: %s\n" (Graph6.encode g);
+    graph_summary g
+  | None ->
+    Printf.printf
+      "not found (best candidate at target diameter had %d violating agents; %d candidates scored)\n"
+      r.Hunt.best_violations r.Hunt.evaluated);
+  `Ok ()
+
+let hunt_cmd =
+  let n = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Vertex count.") in
+  let target = Arg.(value & opt int 3 & info [ "diameter" ] ~doc:"Required minimum diameter.") in
+  let steps = Arg.(value & opt int 4000 & info [ "steps" ] ~doc:"Annealing steps per restart.") in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let game =
+    Arg.(value & opt version_conv Usage_cost.Sum & info [ "game" ] ~doc:"sum or max.")
+  in
+  Cmd.v
+    (Cmd.info "hunt" ~doc:"Search for high-diameter equilibria by simulated annealing")
+    Term.(ret (const hunt $ n $ target $ steps $ seed $ game))
+
+(* --- audit ---------------------------------------------------------------- *)
+
+let audit g6 =
+  match decode_graph g6 with
+  | Error msg -> `Error (false, msg)
+  | Ok g ->
+    let show name = function
+      | None -> Printf.printf "%-8s holds\n" name
+      | Some v -> Printf.printf "%-8s VIOLATED: %s\n" name v.Lemmas.description
+    in
+    Printf.printf "lemma audit on n=%d, m=%d:\n" (Graph.n g) (Graph.m g);
+    show "lemma 6" (Lemmas.check_lemma6 g);
+    show "lemma 7" (Lemmas.check_lemma7 g);
+    show "lemma 8" (Lemmas.check_lemma8 g);
+    Printf.printf "\ncentrality profile:\n";
+    let b = Centrality.betweenness g in
+    Printf.printf "  betweenness: max %.2f at vertex %d, spread %.2f\n"
+      b.(Centrality.most_central b)
+      (Centrality.most_central b) (Centrality.spread b);
+    Printf.printf "  fiedler value: %.4f\n" (Spectral.algebraic_connectivity g);
+    Printf.printf "  clustering: global %.3f, average %.3f\n"
+      (Metrics.global_clustering g) (Metrics.average_clustering g);
+    (match Metrics.degree_assortativity g with
+    | Some r -> Printf.printf "  degree assortativity: %.3f\n" r
+    | None -> Printf.printf "  degree assortativity: degenerate\n");
+    `Ok ()
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Run the lemma audit and structural profile on a graph")
+    Term.(ret (const audit $ graph6_arg))
+
+(* --- main ---------------------------------------------------------------- *)
+
+let () =
+  let doc = "basic network creation games (Alon, Demaine, Hajiaghayi, Leighton; SPAA 2010)" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "bncg" ~version:"1.0.0" ~doc)
+          [
+            generate_cmd;
+            info_cmd;
+            check_cmd;
+            dynamics_cmd;
+            census_cmd;
+            experiment_cmd;
+            hunt_cmd;
+            audit_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/alpha_transfer.ml: Alpha_game Equilibrium Graph List Metrics Poa Printf Prng Random_graphs

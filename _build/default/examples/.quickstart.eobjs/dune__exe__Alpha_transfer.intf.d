@@ -1,0 +1,1 @@
+examples/alpha_transfer.mli:

@@ -1,0 +1,1 @@
+examples/convergence_study.ml: Array Dynamics Equilibrium Exp_common List Metrics Printf Prng Random_graphs Swap Table Theory Usage_cost

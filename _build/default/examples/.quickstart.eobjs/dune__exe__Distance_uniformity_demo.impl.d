@@ -1,0 +1,1 @@
+examples/distance_uniformity_demo.ml: Array Constructions Distance_uniform Generators Graph List Metrics Polarity Printf Theory

@@ -1,0 +1,1 @@
+examples/equilibrium_hunt.ml: Array Canon Centrality Constructions Equilibrium Graph Graph6 Hunt List Metrics Printf Prng String Usage_cost

@@ -1,0 +1,1 @@
+examples/equilibrium_hunt.mli:

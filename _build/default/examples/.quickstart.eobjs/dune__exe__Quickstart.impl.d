@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bfs Dynamics Equilibrium Exp_common Generators Graph Graph6 Metrics Printf Swap Tree_eq Usage_cost

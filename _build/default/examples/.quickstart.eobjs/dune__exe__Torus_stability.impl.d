@@ -1,0 +1,1 @@
+examples/torus_stability.ml: Array Bfs Constructions Equilibrium Graph List Metrics Printf

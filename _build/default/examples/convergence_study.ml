@@ -1,0 +1,85 @@
+(* Convergence study: how fast greedy agents reach a swap equilibrium, and
+   what the equilibria look like (Theorem 9's question).
+
+     dune exec examples/convergence_study.exe
+
+   Shows one fully-traced run (move by move, with the social cost and the
+   network diameter after each move), then sweeps sizes and seeds. *)
+
+let pf = Printf.printf
+
+let () =
+  (* one run in detail *)
+  let rng = Prng.create 2024 in
+  let g0 = Random_graphs.connected_gnm rng 14 22 in
+  pf "one traced run: sum version, n=14, m=22, round-robin best response\n\n";
+  let cfg =
+    { (Dynamics.default_config Usage_cost.Sum) with Dynamics.record_trace = true }
+  in
+  let r = Dynamics.run ~rng cfg g0 in
+  pf "  %-5s %-22s %7s %8s %9s\n" "step" "move" "delta" "social" "diameter";
+  List.iter
+    (fun s ->
+      pf "  %-5d %-22s %7d %8d %9d\n" s.Dynamics.index
+        (Swap.move_to_string s.Dynamics.move)
+        s.Dynamics.delta s.Dynamics.social s.Dynamics.diameter)
+    r.Dynamics.trace;
+  pf "  -> %s in %d rounds; final diameter %s; equilibrium verified %b\n\n"
+    (Exp_common.outcome_name r.Dynamics.outcome)
+    r.Dynamics.rounds
+    (match Metrics.diameter r.Dynamics.final with
+    | Some d -> string_of_int d
+    | None -> "inf")
+    (Equilibrium.is_sum_equilibrium r.Dynamics.final);
+
+  (* sweep: sizes x seeds x versions *)
+  let t =
+    Table.create ~title:"convergence sweep (5 seeds each)"
+      ~columns:
+        [
+          ("version", Table.Left);
+          ("n", Table.Right);
+          ("init m", Table.Right);
+          ("converged", Table.Left);
+          ("rounds (min..max)", Table.Left);
+          ("moves (mean)", Table.Right);
+          ("final diameter", Table.Left);
+        ]
+  in
+  List.iter
+    (fun version ->
+      List.iter
+        (fun n ->
+          let runs =
+            List.map
+              (fun seed ->
+                let rng = Prng.create seed in
+                let g = Random_graphs.connected_gnm rng n (2 * n) in
+                Dynamics.run ~rng (Dynamics.default_config version) g)
+              [ 1; 2; 3; 4; 5 ]
+          in
+          let conv = List.filter (fun r -> r.Dynamics.outcome = Dynamics.Converged) runs in
+          let rounds = Array.of_list (List.map (fun r -> r.Dynamics.rounds) conv) in
+          let moves =
+            Array.of_list (List.map (fun r -> float_of_int r.Dynamics.moves) conv)
+          in
+          let diams =
+            Array.of_list
+              (List.filter_map (fun r -> Metrics.diameter r.Dynamics.final) conv)
+          in
+          Table.add_row t
+            [
+              Usage_cost.version_name version;
+              Table.cell_int n;
+              Table.cell_int (2 * n);
+              Printf.sprintf "%d/%d" (List.length conv) (List.length runs);
+              Exp_common.minmax_cell rounds;
+              Exp_common.mean_cell moves;
+              Exp_common.minmax_cell diams;
+            ])
+        [ 12; 24; 48; 96 ])
+    [ Usage_cost.Sum; Usage_cost.Max ];
+  Table.print t;
+  pf "Theorem 9 context: the sum bound 2^(3 sqrt lg n) at n=96 is %.0f —\n"
+    (Theory.theorem9_bound 96);
+  pf "observed equilibria sit at diameter 2-3, far below it (see E7 for more).\n"

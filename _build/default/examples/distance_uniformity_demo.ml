@@ -1,0 +1,60 @@
+(* Distance uniformity (Section 5): the structural fingerprint of
+   high-diameter sum equilibria, and the Cayley-graph theorem.
+
+     dune exec examples/distance_uniformity_demo.exe *)
+
+let pf = Printf.printf
+
+let profile name g =
+  let e = Distance_uniform.best_uniform g in
+  let a = Distance_uniform.best_almost_uniform g in
+  pf "  %-24s n=%4d diam=%3s  exact: eps=%.3f at r=%d   almost: eps=%.3f at r=%d\n"
+    name (Graph.n g)
+    (match Metrics.diameter g with Some d -> string_of_int d | None -> "inf")
+    e.Distance_uniform.epsilon e.Distance_uniform.r a.Distance_uniform.epsilon
+    a.Distance_uniform.r
+
+let () =
+  pf "sphere profile of one vertex (torus k=6, vertex 0):\n  |S_r| = ";
+  let hist = Metrics.distance_histogram (Constructions.torus 6) 0 in
+  Array.iteri (fun r c -> pf "%s%d@r=%d" (if r = 0 then "" else ", ") c r) hist;
+  pf "\n\n";
+
+  pf "uniformity profiles (smaller eps = more distance-uniform):\n";
+  profile "complete K32" (Generators.complete 32);
+  profile "Petersen" (Generators.petersen ());
+  profile "polarity ER_5" (Polarity.polarity_graph 5);
+  profile "hypercube Q8" (Generators.hypercube 8);
+  profile "cycle C64" (Generators.cycle 64);
+  profile "torus k=6" (Constructions.torus 6);
+
+  (* Theorem 13's engine: powers coalesce distances *)
+  pf "\nTheorem 13 pipeline on C60 (diameter 30):\n";
+  List.iter
+    (fun x ->
+      let r = Distance_uniform.power_report (Generators.cycle 60) ~x in
+      pf "  x=%2d: diam(G^x)=%2d (= ceil(30/%d))  almost-uniform eps=%.3f\n" x
+        r.Distance_uniform.diameter x r.Distance_uniform.almost.Distance_uniform.epsilon)
+    [ 2; 3; 5; 10; 15 ];
+
+  (* Conjecture 14's pitfall: pairwise concentration is NOT enough *)
+  let blobs = Generators.path_with_blobs ~arms:6 ~arm_len:8 ~blob:24 in
+  let mode, frac = Distance_uniform.pairwise_modal_fraction blobs in
+  let per_vertex = Distance_uniform.best_almost_uniform blobs in
+  pf "\nSection 5 non-example (hub + 6 arms ending in cliques, n=%d):\n"
+    (Graph.n blobs);
+  pf "  %.0f%% of vertex pairs sit at distance exactly %d,\n" (100.0 *. frac) mode;
+  pf "  yet per-vertex almost-uniformity only reaches eps = %.3f —\n"
+    per_vertex.Distance_uniform.epsilon;
+  pf "  hence Conjecture 14 must quantify per vertex, as the paper notes.\n";
+
+  (* Theorem 15 on a genuinely uniform Abelian Cayley family *)
+  pf "\nTheorem 15 (Abelian Cayley graphs): complete graphs K_n = Cayley(Z_n, all):\n";
+  List.iter
+    (fun n ->
+      let g = Generators.complete n in
+      let e = Distance_uniform.best_uniform g in
+      let eps = e.Distance_uniform.epsilon in
+      let bound = Theory.theorem15_bound ~n ~epsilon:eps in
+      pf "  n=%3d: eps=%.3f < 1/4, diameter 1 <= bound %.1f\n" n eps bound)
+    [ 16; 64; 256 ]

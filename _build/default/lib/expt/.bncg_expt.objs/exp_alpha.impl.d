@@ -1,0 +1,1 @@
+lib/expt/exp_alpha.ml: Alpha_game Array Enumerate Equilibrium Exp_common Graph List Metrics Poa Prng Random_graphs Table Usage_cost

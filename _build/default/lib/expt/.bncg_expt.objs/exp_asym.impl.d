@@ -1,0 +1,1 @@
+lib/expt/exp_asym.ml: Array Asym_swap Dynamics Equilibrium Exp_common Float List Metrics Printf Prng Random_graphs Stats Table

@@ -1,0 +1,1 @@
+lib/expt/exp_audit.ml: Constructions Dynamics Exp_common Generators Graph Lemmas List Polarity Printf Prng Random_graphs Spectral Table

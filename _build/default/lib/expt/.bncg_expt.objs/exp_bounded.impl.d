@@ -1,0 +1,1 @@
+lib/expt/exp_bounded.ml: Array Dynamics Exp_common Hunt List Metrics Printf Prng Random_graphs Table Usage_cost

@@ -1,0 +1,1 @@
+lib/expt/exp_catalog.ml: Array Canon Census Exp_common Graph Graph6 List Metrics Printf Spectral String Table Usage_cost

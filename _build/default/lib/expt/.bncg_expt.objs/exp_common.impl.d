@@ -1,0 +1,1 @@
+lib/expt/exp_common.ml: Array Dynamics Equilibrium Metrics Printf Stats Swap Table

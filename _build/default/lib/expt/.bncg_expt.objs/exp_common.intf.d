@@ -1,0 +1,1 @@
+lib/expt/exp_common.mli: Dynamics Equilibrium Graph

@@ -1,0 +1,1 @@
+lib/expt/exp_dynamics.ml: Array Dynamics Equilibrium Exp_common List Metrics Printf Prng Random_graphs Table Theory Usage_cost

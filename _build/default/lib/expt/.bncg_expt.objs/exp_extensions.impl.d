@@ -1,0 +1,1 @@
+lib/expt/exp_extensions.ml: Array Constructions Dynamics Equilibrium Exp_common Generators Graph Graph6 Hunt List Metrics Option Polarity Printf Prng Random_graphs String Table Usage_cost

@@ -1,0 +1,1 @@
+lib/expt/exp_lower_bounds.ml: Census Constructions Exp_common Generators Graph List Polarity Printf String Table Usage_cost

@@ -1,0 +1,1 @@
+lib/expt/exp_lower_bounds.mli: Usage_cost

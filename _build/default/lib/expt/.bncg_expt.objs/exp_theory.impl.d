@@ -1,0 +1,1 @@
+lib/expt/exp_theory.ml: Constructions Dynamics Equilibrium Generators Graph Polarity Prng Random_graphs Table Theory

@@ -1,0 +1,1 @@
+lib/expt/exp_torus.ml: Constructions Equilibrium Exp_common Graph List Metrics Table Theory

@@ -1,0 +1,1 @@
+lib/expt/exp_trees.ml: Census Equilibrium Exp_common Generators Graph List Prng Random_graphs Table Tree_eq Tree_opt Usage_cost

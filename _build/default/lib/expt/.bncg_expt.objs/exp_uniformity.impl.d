@@ -1,0 +1,1 @@
+lib/expt/exp_uniformity.ml: Constructions Distance_uniform Dynamics Exp_common Generators Graph List Metrics Option Prng Random_graphs Table Theory

@@ -1,0 +1,1 @@
+lib/expt/experiments.ml: Exp_alpha Exp_asym Exp_audit Exp_bounded Exp_catalog Exp_dynamics Exp_extensions Exp_lower_bounds Exp_theory Exp_torus Exp_trees Exp_uniformity List Printf String Usage_cost

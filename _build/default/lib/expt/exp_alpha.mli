@@ -1,0 +1,15 @@
+(** E11 / E12 — the α-game baseline and price of anarchy. *)
+
+val e11_alpha_transfer : ?n:int -> ?alphas:float list -> unit -> unit
+(** The paper's transfer claim: swap-equilibrium bounds hold for every α.
+    Runs α-game best-response dynamics across a wide α sweep and reports,
+    per α, the resulting network's diameter, whether it is an α-local
+    equilibrium, whether the bare graph is also a basic-game swap
+    equilibrium, and the social-cost ratio. The headline: the equilibrium
+    diameter column stays flat (small) across four orders of magnitude
+    of α. *)
+
+val e12_price_of_anarchy : ?max_n:int -> unit -> unit
+(** Exact price of anarchy of the basic sum game for small (n, m) by
+    exhaustive search, plus diameter ratios — the quantity the paper
+    relates to the diameter via [7]. *)

@@ -1,0 +1,8 @@
+(** E20 — the asymmetric (owner-only) swap game. *)
+
+val e20_asymmetric_swap : ?n:int -> ?seeds:int -> unit -> unit
+(** Measures how restricting swaps to edge owners widens the equilibrium
+    set: dynamics from random trees under random ownership converge to
+    asymmetric equilibria whose diameters exceed the symmetric game's, and
+    each final network is classified by whether it is also a full
+    (either-endpoint) swap equilibrium. *)

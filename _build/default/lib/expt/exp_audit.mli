@@ -1,0 +1,14 @@
+(** E18 / E19 — proof audits and spectral profiles. *)
+
+val e18_lemma_audit : ?seeds:int -> unit -> unit
+(** Computationally audits the paper's omitted lemma proofs (Lemmas 6–8)
+    over named families and random graphs, then re-runs the Theorem 5 case
+    analysis to isolate exactly which proof case fails on the Figure 3
+    graph. *)
+
+val e19_spectral_profile : unit -> unit
+(** Spectral fingerprints of equilibria vs. the paper's constructions:
+    algebraic connectivity, second adjacency eigenvalue, and Chung's
+    spectral diameter bound next to the true diameter. Equilibria are
+    expanders-in-spirit (large gap, small diameter); the Theorem 12 torus
+    shows the opposite profile. *)

@@ -1,0 +1,9 @@
+(** E21 — computationally bounded agents. *)
+
+val e21_bounded_agents : ?n:int -> ?seeds:int -> unit -> unit
+(** The paper's motivating scenario made quantitative: agents that examine
+    only a budget of uniformly sampled candidate swaps per activation.
+    Sweeps the budget from 1 sample to a full scan and reports convergence,
+    rounds, residual violating agents, and the final diameter — tiny
+    budgets still drive the network to (near-)equilibrium, only more
+    slowly. *)

@@ -1,0 +1,28 @@
+let diameter_cell g =
+  match Metrics.diameter g with Some d -> string_of_int d | None -> "inf"
+
+let girth_cell g =
+  match Metrics.girth g with Some d -> string_of_int d | None -> "-"
+
+let verdict_cell = function
+  | Equilibrium.Equilibrium -> "yes"
+  | Equilibrium.Disconnected -> "no (disconnected)"
+  | Equilibrium.Violation (mv, d) ->
+    Printf.sprintf "no (%s, delta %d)" (Swap.move_to_string mv) d
+
+let sum_verdict g = verdict_cell (Equilibrium.check_sum g)
+
+let max_verdict g = verdict_cell (Equilibrium.check_max g)
+
+let outcome_name = function
+  | Dynamics.Converged -> "converged"
+  | Dynamics.Cycled -> "cycled"
+  | Dynamics.Round_limit -> "round-limit"
+
+let mean_cell xs = Table.cell_float ~digits:2 (Stats.mean xs)
+
+let minmax_cell xs =
+  let lo = Array.fold_left min xs.(0) xs and hi = Array.fold_left max xs.(0) xs in
+  if lo = hi then string_of_int lo else Printf.sprintf "%d..%d" lo hi
+
+let seeds k = Array.init k (fun i -> i + 1)

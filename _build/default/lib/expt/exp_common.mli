@@ -1,0 +1,24 @@
+(** Shared helpers for the experiment tables. *)
+
+val diameter_cell : Graph.t -> string
+(** Diameter, or "inf" when disconnected. *)
+
+val girth_cell : Graph.t -> string
+(** Girth, or "-" for forests. *)
+
+val verdict_cell : Equilibrium.verdict -> string
+(** "yes" for equilibrium, otherwise the violating move. *)
+
+val sum_verdict : Graph.t -> string
+
+val max_verdict : Graph.t -> string
+
+val outcome_name : Dynamics.outcome -> string
+
+val mean_cell : float array -> string
+
+val minmax_cell : int array -> string
+(** "lo..hi" of an int sample. *)
+
+val seeds : int -> int array
+(** The deterministic seed list [1..k] used across all experiments. *)

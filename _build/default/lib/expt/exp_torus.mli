@@ -1,0 +1,13 @@
+(** E5 / E6 — the max-version lower bound (Section 4, Figure 4). *)
+
+val e5_torus_sweep : ?max_k:int -> unit -> unit
+(** Theorem 12: for each k, the rotated torus on n = 2k² vertices has
+    diameter exactly k = √(n/2), matches its closed-form distance oracle,
+    and is deletion-critical, insertion-stable, and a full max
+    equilibrium. Full checks are run up to a size cutoff, spot checks
+    beyond. *)
+
+val e6_torus_dimensions : ?cases:(int * int) list -> unit -> unit
+(** Section 4 generalization: torus_d ~dim k has n = 2k^dim vertices,
+    diameter k = (n/2)^(1/dim), and is stable under up to dim−1
+    simultaneous edge insertions at one vertex (checked exhaustively). *)

@@ -1,0 +1,19 @@
+(** E1 / E2 — the tree theorems (Section 2, Figures 1 and 2). *)
+
+val e1_sum_tree_census : ?max_n:int -> unit -> unit
+(** Theorem 1: exhaustive census of labeled trees per n (default up to 8);
+    every sum equilibrium must be a star, every non-star gets a verified
+    improving witness. *)
+
+val e2_max_tree_census : ?max_n:int -> unit -> unit
+(** Theorem 4: same for the max version; equilibria are exactly stars and
+    double stars with both arms >= 2, diameter <= 3 with 3 attained. *)
+
+val e1b_trees_at_scale : ?sizes:int list -> unit -> unit
+(** Theorem 1 at large n: best-response convergence of random trees using
+    the O(1)-per-swap evaluator ({!Tree_opt}), sizes in the hundreds.
+    Every run must end in a star. *)
+
+val e2b_double_star_family : ?max_arm:int -> unit -> unit
+(** The Figure 2 boundary: double_star(a, b) is a max equilibrium iff
+    min(a, b) >= 2, swept exhaustively over arm sizes. *)

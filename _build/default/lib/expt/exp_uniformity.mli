@@ -1,0 +1,21 @@
+(** E9 / E10 / E14 — distance uniformity (Section 5). *)
+
+val e9_theorem13_pipeline : unit -> unit
+(** Theorem 13: the power-graph pipeline on representative graphs — sum
+    equilibria produced by dynamics (small diameter, so the theorem's
+    hypothesis d > 2 lg n is unmet and the statement is vacuous but
+    measured), plus high-diameter inputs (cycles, tori) where the
+    coalescing of distances under powers is visible: diam(G^x) = ceil(d/x)
+    and the almost-uniform epsilon of the power graph. *)
+
+val e10_cayley_uniformity : unit -> unit
+(** Theorem 15: Abelian Cayley families — measured best (r, epsilon); for
+    every family with epsilon < 1/4 the diameter is within the theorem's
+    O(lg n / lg(1/eps)) bound, and every high-diameter family has
+    epsilon >= 1/4 (the contrapositive). *)
+
+val e14_conjecture14_probe : unit -> unit
+(** The Section 5 non-example: path-with-blobs has almost all *pairs* at
+    one distance while per-vertex uniformity fails — the reason
+    Conjecture 14 must quantify per vertex. Also reports skew-triple
+    fractions (the first claim in Theorem 13's proof) on equilibria. *)

@@ -1,0 +1,220 @@
+type t = {
+  id : string;
+  paper_item : string;
+  title : string;
+  run : unit -> unit;
+  heavy : bool;
+}
+
+let all =
+  [
+    {
+      id = "E1";
+      paper_item = "Theorem 1 / Figure 1";
+      title = "Sum-equilibrium trees are exactly the stars (exhaustive)";
+      run =
+        (fun () ->
+          Exp_trees.e1_sum_tree_census ();
+          Exp_trees.e1b_trees_at_scale ());
+      heavy = false;
+    };
+    {
+      id = "E1X";
+      paper_item = "Theorem 1 / Figure 1";
+      title = "Sum tree census extended to n = 9 (4.8M trees)";
+      run = (fun () -> Exp_trees.e1_sum_tree_census ~max_n:9 ());
+      heavy = true;
+    };
+    {
+      id = "E2";
+      paper_item = "Theorem 4 / Figure 2";
+      title = "Max-equilibrium trees: stars and double stars, diameter <= 3";
+      run =
+        (fun () ->
+          Exp_trees.e2_max_tree_census ();
+          Exp_trees.e2b_double_star_family ());
+      heavy = false;
+    };
+    {
+      id = "E3";
+      paper_item = "Theorem 5 / Figure 3";
+      title = "Diameter-3 sum equilibria: construction audit and verified witnesses";
+      run = Exp_lower_bounds.e3_theorem5;
+      heavy = false;
+    };
+    {
+      id = "E4";
+      paper_item = "Section 3.1";
+      title = "Exhaustive equilibrium census over all connected graphs (n <= 6)";
+      run = (fun () -> Exp_lower_bounds.e4_graph_census ());
+      heavy = false;
+    };
+    {
+      id = "E4X";
+      paper_item = "Section 3.1";
+      title = "Sum census extended to n = 7 (1.87M connected graphs)";
+      run =
+        (fun () ->
+          Exp_lower_bounds.e4_graph_census ~max_n:7 ~versions:[ Usage_cost.Sum ] ());
+      heavy = true;
+    };
+    {
+      id = "E5";
+      paper_item = "Theorem 12 / Figure 4";
+      title = "Rotated-torus max equilibria of diameter sqrt(n/2)";
+      run = (fun () -> Exp_torus.e5_torus_sweep ());
+      heavy = false;
+    };
+    {
+      id = "E6";
+      paper_item = "Section 4 (generalization)";
+      title = "d-dimensional tori: diameter (n/2)^(1/d), k-insertion stability";
+      run = (fun () -> Exp_torus.e6_torus_dimensions ());
+      heavy = false;
+    };
+    {
+      id = "E7";
+      paper_item = "Theorem 9";
+      title = "Sum dynamics: converged diameters vs 2^O(sqrt(lg n))";
+      run = (fun () -> Exp_dynamics.e7_sum_dynamics ());
+      heavy = false;
+    };
+    {
+      id = "E8";
+      paper_item = "Lemmas 2-3";
+      title = "Max dynamics: equilibria obey the structural lemmas";
+      run = (fun () -> Exp_dynamics.e8_max_dynamics ());
+      heavy = false;
+    };
+    {
+      id = "E9";
+      paper_item = "Theorem 13";
+      title = "Graph-power pipeline: distance coalescing and uniformity";
+      run = Exp_uniformity.e9_theorem13_pipeline;
+      heavy = false;
+    };
+    {
+      id = "E10";
+      paper_item = "Theorem 15";
+      title = "Abelian Cayley families: uniformity vs diameter bound";
+      run = Exp_uniformity.e10_cayley_uniformity;
+      heavy = false;
+    };
+    {
+      id = "E11";
+      paper_item = "Section 1 (transfer claim)";
+      title = "Alpha-game sweep: equilibrium diameter flat across alpha";
+      run = (fun () -> Exp_alpha.e11_alpha_transfer ());
+      heavy = false;
+    };
+    {
+      id = "E12";
+      paper_item = "via [7]";
+      title = "Exact price of anarchy of the basic sum game (small n)";
+      run = (fun () -> Exp_alpha.e12_price_of_anarchy ());
+      heavy = false;
+    };
+    {
+      id = "E13";
+      paper_item = "Lemma 10 / Corollary 11";
+      title = "Constructive lemma checks on verified sum equilibria";
+      run = Exp_theory.e13_lemma10_corollary11;
+      heavy = false;
+    };
+    {
+      id = "E14";
+      paper_item = "Conjecture 14 / Section 5";
+      title = "Distance-uniformity probes: the pairwise non-example, skew triples";
+      run = Exp_uniformity.e14_conjecture14_probe;
+      heavy = false;
+    };
+    {
+      id = "E15";
+      paper_item = "Theorem 5 / Theorem 9 gap";
+      title = "Annealing hunt: minimal diameter-3 equilibria, diameter-4 frontier";
+      run = (fun () -> Exp_extensions.e15_equilibrium_hunt ());
+      heavy = false;
+    };
+    {
+      id = "E16";
+      paper_item = "Section 4 trade-off (sum side)";
+      title = "Multi-swap stability of single-swap sum equilibria";
+      run = (fun () -> Exp_extensions.e16_multi_swap_stability ());
+      heavy = false;
+    };
+    {
+      id = "E17";
+      paper_item = "engine ablation";
+      title = "Dynamics design ablation: move rule x schedule";
+      run = (fun () -> Exp_extensions.e17_dynamics_ablation ());
+      heavy = false;
+    };
+    {
+      id = "E18";
+      paper_item = "Lemmas 6-8 (omitted proofs)";
+      title = "Lemma audit + Theorem 5 proof case analysis";
+      run = (fun () -> Exp_audit.e18_lemma_audit ());
+      heavy = false;
+    };
+    {
+      id = "E19";
+      paper_item = "spectral context";
+      title = "Spectral profiles of equilibria and constructions";
+      run = Exp_audit.e19_spectral_profile;
+      heavy = false;
+    };
+    {
+      id = "E20";
+      paper_item = "asymmetric variant (follow-up literature)";
+      title = "Owner-only swaps: wider equilibria, larger diameters";
+      run = (fun () -> Exp_asym.e20_asymmetric_swap ());
+      heavy = false;
+    };
+    {
+      id = "E21";
+      paper_item = "Section 1 (bounded agents)";
+      title = "Bounded agents: sampling budget vs equilibrium quality";
+      run = (fun () -> Exp_bounded.e21_bounded_agents ());
+      heavy = false;
+    };
+    {
+      id = "E22";
+      paper_item = "data release";
+      title = "Catalog of all small equilibrium classes with certificates";
+      run =
+        (fun () ->
+          Exp_catalog.e22_equilibrium_catalog ~n:5 ~version:Usage_cost.Sum ();
+          Exp_catalog.e22_equilibrium_catalog ~n:6 ~version:Usage_cost.Max ());
+      heavy = false;
+    };
+    {
+      id = "E22X";
+      paper_item = "data release";
+      title = "Sum catalog at n = 6 (60 classes)";
+      run = (fun () -> Exp_catalog.e22_equilibrium_catalog ~n:6 ~version:Usage_cost.Sum ());
+      heavy = true;
+    };
+  ]
+
+let find id =
+  let target = String.uppercase_ascii id in
+  List.find_opt (fun e -> e.id = target) all
+
+let banner e =
+  Printf.printf "### %s — %s\n### %s\n\n" e.id e.paper_item e.title
+
+let run_default () =
+  List.iter
+    (fun e ->
+      if not e.heavy then begin
+        banner e;
+        e.run ()
+      end)
+    all
+
+let run_everything () =
+  List.iter
+    (fun e ->
+      banner e;
+      e.run ())
+    all

@@ -1,0 +1,23 @@
+(** Experiment registry: every theorem/figure reproduction, addressable by
+    id for the CLI and run wholesale by the benchmark harness. *)
+
+type t = {
+  id : string;  (** "E1" .. "E14" *)
+  paper_item : string;  (** e.g. "Theorem 12 / Figure 4" *)
+  title : string;
+  run : unit -> unit;  (** prints one or more tables to stdout *)
+  heavy : bool;  (** excluded from the default quick sweep *)
+}
+
+val all : t list
+(** In id order. The [heavy] entries (n=7 census, n=9 trees) only run when
+    explicitly requested. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by id. *)
+
+val run_default : unit -> unit
+(** Every non-heavy experiment, in order. *)
+
+val run_everything : unit -> unit
+(** All experiments including heavy ones. *)

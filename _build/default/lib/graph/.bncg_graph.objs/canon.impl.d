@@ -1,0 +1,1 @@
+lib/graph/canon.ml: Array Bytes Char Graph Hashtbl List Printf Stats Union_find

@@ -1,0 +1,1 @@
+lib/graph/cayley.ml: Array Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/graph/cayley.mli: Graph

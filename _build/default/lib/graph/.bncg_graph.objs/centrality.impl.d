@@ -1,0 +1,1 @@
+lib/graph/centrality.ml: Array Bfs Float Graph List

@@ -1,0 +1,1 @@
+lib/graph/enumerate.ml: Array Graph Random_graphs Union_find

@@ -1,0 +1,1 @@
+lib/graph/fast_diameter.mli: Graph

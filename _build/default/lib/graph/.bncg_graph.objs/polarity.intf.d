@@ -1,0 +1,1 @@
+lib/graph/polarity.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/random_graphs.ml: Array Components Float Graph Hashtbl Int List Prng Set Union_find Vec

@@ -1,0 +1,1 @@
+lib/graph/random_graphs.mli: Graph Prng

@@ -1,0 +1,1 @@
+lib/graph/spectral.ml: Array Components Float Graph Int64 Prng

@@ -1,0 +1,218 @@
+let max_search_vertices = 16
+
+(* --- color refinement ----------------------------------------------- *)
+
+let refine g =
+  let n = Graph.n g in
+  let color = Array.make n 0 in
+  (* initial color: degree *)
+  for v = 0 to n - 1 do
+    color.(v) <- Graph.degree g v
+  done;
+  let dense c =
+    (* remap colors to 0..k-1, ordered by their signature so the result is
+       label-independent *)
+    let sorted = Array.copy c in
+    Array.sort compare sorted;
+    let tbl = Hashtbl.create n in
+    let next = ref 0 in
+    Array.iter
+      (fun x ->
+        if not (Hashtbl.mem tbl x) then begin
+          Hashtbl.add tbl x !next;
+          incr next
+        end)
+      sorted;
+    Array.map (Hashtbl.find tbl) c, !next
+  in
+  let color, k0 = dense color in
+  let color = ref color and k = ref k0 in
+  let stable = ref false in
+  while not !stable do
+    let signature v =
+      let neigh = Graph.fold_neighbors (fun acc w -> !color.(w) :: acc) [] g v in
+      (!color.(v), List.sort compare neigh)
+    in
+    let sigs = Array.init n signature in
+    (* hash-cons signatures into new dense colors, ordered by signature *)
+    let distinct = Hashtbl.create n in
+    Array.iter (fun s -> if not (Hashtbl.mem distinct s) then Hashtbl.add distinct s ()) sigs;
+    let keys = Hashtbl.fold (fun s () acc -> s :: acc) distinct [] in
+    let keys = List.sort compare keys in
+    let rank = Hashtbl.create n in
+    List.iteri (fun i s -> Hashtbl.add rank s i) keys;
+    let next = Array.map (Hashtbl.find rank) sigs in
+    let k' = List.length keys in
+    if k' = !k then stable := true
+    else begin
+      color := next;
+      k := k'
+    end
+  done;
+  !color
+
+(* --- canonical form --------------------------------------------------- *)
+
+let check_cap g =
+  if Graph.n g > max_search_vertices then
+    invalid_arg "Canon: graph exceeds max_search_vertices"
+
+(* Canonical form: the lexicographically minimal adjacency bitstring over
+   all color-class-respecting vertex orders.  Bits are emitted in
+   column-major order (x_{0,1}; x_{0,2}, x_{1,2}; x_{0,3}, ...) so that
+   placing the vertex at position [v] fixes exactly the next [v] bits —
+   which lets the backtracking search prune any branch whose partial
+   string already exceeds the best one found.  Without the pruning,
+   vertex-transitive graphs (single color class) would cost n! full
+   evaluations. *)
+let canonical_form g =
+  check_cap g;
+  let n = Graph.n g in
+  if n = 0 then ""
+  else begin
+    let color = refine g in
+    (* position i must receive a vertex of the i-th smallest color *)
+    let target =
+      let sorted = Array.copy color in
+      Array.sort compare sorted;
+      sorted
+    in
+    let total_bits = n * (n - 1) / 2 in
+    let buf = Bytes.create total_bits in
+    let best = ref (Bytes.make total_bits '1') in
+    let have_best = ref false in
+    let perm = Array.make n (-1) in
+    let used = Array.make n false in
+    (* offset of column v's first bit *)
+    let col_off v = v * (v - 1) / 2 in
+    (* [go v lt] explores positions v.. with [lt] = "the buffer's prefix is
+       strictly below the incumbent's".  Returns true when the subtree
+       replaced the incumbent — in that case the caller's prefix equals the
+       new incumbent's prefix, so its own [lt] state must reset to
+       "equal". *)
+    let rec go v lt =
+      if v = n then begin
+        if lt || not !have_best then begin
+          Bytes.blit buf 0 !best 0 total_bits;
+          have_best := true;
+          true
+        end
+        else false
+      end
+      else begin
+        let updated = ref false in
+        let lt_state = ref lt in
+        for candidate = 0 to n - 1 do
+          if (not used.(candidate)) && color.(candidate) = target.(v) then begin
+            let off = col_off v in
+            for j = 0 to v - 1 do
+              Bytes.set buf (off + j)
+                (if Graph.mem_edge g perm.(j) candidate then '1' else '0')
+            done;
+            (* compare this column against the incumbent *)
+            let verdict =
+              if !lt_state || not !have_best then -1
+              else begin
+                let rec cmp j =
+                  if j >= v then 0
+                  else begin
+                    let c =
+                      Char.compare (Bytes.get buf (off + j)) (Bytes.get !best (off + j))
+                    in
+                    if c <> 0 then c else cmp (j + 1)
+                  end
+                in
+                cmp 0
+              end
+            in
+            if verdict <= 0 then begin
+              used.(candidate) <- true;
+              perm.(v) <- candidate;
+              if go (v + 1) (!lt_state || verdict < 0) then begin
+                (* incumbent replaced along this path: our prefix now ties *)
+                lt_state := false;
+                updated := true
+              end;
+              used.(candidate) <- false;
+              perm.(v) <- -1
+            end
+          end
+        done;
+        !updated
+      end
+    in
+    ignore (go 0 false);
+    Printf.sprintf "%d:%s" n (Bytes.to_string !best)
+  end
+
+let isomorphic a b =
+  Graph.n a = Graph.n b
+  && Graph.m a = Graph.m b
+  && Graph.degree_sequence a = Graph.degree_sequence b
+  &&
+  (* refined colors are label-independent, so the full histograms must
+     match exactly *)
+  Stats.histogram (refine a) = Stats.histogram (refine b)
+  && canonical_form a = canonical_form b
+
+(* --- automorphisms ---------------------------------------------------- *)
+
+let automorphisms g =
+  check_cap g;
+  let n = Graph.n g in
+  let color = refine g in
+  let image = Array.make n (-1) in
+  let used = Array.make n false in
+  let out = ref [] in
+  (* assign image.(v) for v = 0, 1, ...; candidate w must share v's refined
+     color and match adjacency against all previously assigned vertices *)
+  let consistent v w =
+    let ok = ref true in
+    for u = 0 to v - 1 do
+      if Graph.mem_edge g u v <> Graph.mem_edge g image.(u) w then ok := false
+    done;
+    !ok
+  in
+  let rec go v =
+    if v = n then out := Array.copy image :: !out
+    else
+      for w = 0 to n - 1 do
+        if (not used.(w)) && color.(w) = color.(v) && consistent v w then begin
+          used.(w) <- true;
+          image.(v) <- w;
+          go (v + 1);
+          used.(w) <- false;
+          image.(v) <- -1
+        end
+      done
+  in
+  go 0;
+  !out
+
+let automorphism_count g = List.length (automorphisms g)
+
+let orbits g =
+  let n = Graph.n g in
+  let uf = Union_find.create n in
+  List.iter
+    (fun sigma ->
+      Array.iteri (fun v w -> ignore (Union_find.union uf v w)) sigma)
+    (automorphisms g);
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    let r = Union_find.find uf v in
+    if label.(r) < 0 then begin
+      label.(r) <- !next;
+      incr next
+    end;
+    label.(v) <- label.(r)
+  done;
+  label
+
+let is_vertex_transitive g =
+  let n = Graph.n g in
+  n <= 1
+  ||
+  let o = orbits g in
+  Array.for_all (fun x -> x = o.(0)) o

@@ -1,0 +1,39 @@
+(** Canonical forms, isomorphism, automorphisms — for small graphs.
+
+    The census deduplicates equilibria up to isomorphism and checks
+    structural claims like "the Theorem 12 torus is vertex-transitive". The
+    algorithm is classical: iterated color refinement (1-WL) to split
+    vertices into classes, then a backtracking search over class-respecting
+    permutations for the lexicographically minimal adjacency bitstring.
+    Exponential in the worst case, so guarded: intended for n <= 12 or
+    highly refined graphs; functions raise [Invalid_argument] past
+    [max_search_vertices] unless documented otherwise. *)
+
+val max_search_vertices : int
+(** Hard cap (16) on the backtracking entry points. *)
+
+val refine : Graph.t -> int array
+(** Stable coloring from iterated neighborhood refinement; color ids are
+    dense in [\[0, k)] and sorted by class signature. Isomorphic graphs get
+    identical color histograms. Works for any size. *)
+
+val canonical_form : Graph.t -> string
+(** A string certificate: equal iff the graphs are isomorphic (for graphs
+    within the search cap). *)
+
+val isomorphic : Graph.t -> Graph.t -> bool
+(** Cheap invariants first (n, m, degree sequence, refined color histogram),
+    then certificate comparison. *)
+
+val automorphisms : Graph.t -> int array list
+(** All automorphisms as permutation arrays ([σ.(v)] is the image of [v]).
+    Includes the identity. *)
+
+val automorphism_count : Graph.t -> int
+
+val orbits : Graph.t -> int array
+(** [orbits g] labels each vertex with its automorphism-orbit index. *)
+
+val is_vertex_transitive : Graph.t -> bool
+(** Single orbit. Note: Cayley graphs are vertex-transitive by construction;
+    use this only to spot-check small instances. *)

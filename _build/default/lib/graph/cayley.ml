@@ -1,0 +1,104 @@
+type group = {
+  factors : int array;
+  order : int;
+}
+
+let group factors =
+  List.iter (fun m -> if m < 1 then invalid_arg "Cayley.group: factor < 1") factors;
+  let factors = Array.of_list factors in
+  { factors; order = Array.fold_left ( * ) 1 factors }
+
+let order g = g.order
+
+let element_count = order
+
+let normalize g tuple =
+  if Array.length tuple <> Array.length g.factors then
+    invalid_arg "Cayley: tuple arity mismatch";
+  Array.mapi
+    (fun i x ->
+      let m = g.factors.(i) in
+      ((x mod m) + m) mod m)
+    tuple
+
+let encode g tuple =
+  let t = normalize g tuple in
+  let rank = ref 0 in
+  for i = 0 to Array.length t - 1 do
+    rank := (!rank * g.factors.(i)) + t.(i)
+  done;
+  !rank
+
+let decode g rank =
+  if rank < 0 || rank >= g.order then invalid_arg "Cayley.decode: out of range";
+  let k = Array.length g.factors in
+  let out = Array.make k 0 in
+  let r = ref rank in
+  for i = k - 1 downto 0 do
+    out.(i) <- !r mod g.factors.(i);
+    r := !r / g.factors.(i)
+  done;
+  out
+
+let neg g tuple = normalize g (Array.map (fun x -> -x) tuple)
+
+let add g a b =
+  if Array.length a <> Array.length b then invalid_arg "Cayley.add: arity";
+  normalize g (Array.mapi (fun i x -> x + b.(i)) a)
+
+let is_symmetric g s =
+  let codes = List.map (encode g) s in
+  List.for_all (fun t -> List.mem (encode g (neg g t)) codes) s
+
+let check_generators g s =
+  if s = [] then invalid_arg "Cayley.cayley: empty connection set";
+  if not (is_symmetric g s) then
+    invalid_arg "Cayley.cayley: connection set not symmetric";
+  let zero = encode g (Array.map (fun _ -> 0) g.factors) in
+  if List.exists (fun t -> encode g t = zero) s then
+    invalid_arg "Cayley.cayley: identity in connection set"
+
+let cayley g s =
+  check_generators g s;
+  let graph = Graph.create g.order in
+  for a = 0 to g.order - 1 do
+    let ta = decode g a in
+    List.iter
+      (fun gen ->
+        let b = encode g (add g ta gen) in
+        ignore (Graph.try_add_edge graph a b))
+      s
+  done;
+  graph
+
+let subgroup_cayley g ~keep s =
+  check_generators g s;
+  let members = ref [] in
+  for a = g.order - 1 downto 0 do
+    let t = decode g a in
+    if keep t then members := (a, t) :: !members
+  done;
+  let members = Array.of_list !members in
+  let index = Hashtbl.create (Array.length members) in
+  Array.iteri (fun i (code, _) -> Hashtbl.add index code i) members;
+  List.iter
+    (fun gen ->
+      if not (keep (normalize g gen)) then
+        invalid_arg "Cayley.subgroup_cayley: generator outside subgroup")
+    s;
+  let graph = Graph.create (Array.length members) in
+  Array.iteri
+    (fun i (_, tuple) ->
+      List.iter
+        (fun gen ->
+          let target = encode g (add g tuple gen) in
+          match Hashtbl.find_opt index target with
+          | Some j -> ignore (Graph.try_add_edge graph i j)
+          | None ->
+            invalid_arg "Cayley.subgroup_cayley: predicate is not a subgroup")
+        s)
+    members;
+  graph, Array.map snd members
+
+let paper_torus_generators _k =
+  [ [| 1; 1 |]; [| 1; -1 |]; [| -1; 1 |]; [| -1; -1 |] ]

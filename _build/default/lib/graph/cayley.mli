@@ -1,0 +1,50 @@
+(** Cayley graphs of finite Abelian groups.
+
+    Section 5 of the paper (Theorem 15) proves the distance-uniformity
+    conjecture for Cayley graphs of Abelian groups. Every finite Abelian
+    group is a product of cyclic groups, so a group here is given by its
+    cyclic factors [Z_{m1} × ... × Z_{mk}] and a connection set of tuples
+    closed under negation. The paper's Theorem 12 torus is itself the Cayley
+    graph of the even-coordinate-sum subgroup of Z_{2k}² with generators
+    (±1, ±1). *)
+
+type group
+(** A finite Abelian group presented as a product of cyclic factors. *)
+
+val group : int list -> group
+(** [group [m1; ...; mk]] is Z_{m1} × ... × Z_{mk}. All factors >= 1. *)
+
+val order : group -> int
+
+val element_count : group -> int
+(** Alias of {!order}. *)
+
+val encode : group -> int array -> int
+(** Mixed-radix rank of a tuple (entries reduced mod the factor sizes). *)
+
+val decode : group -> int -> int array
+
+val neg : group -> int array -> int array
+
+val add : group -> int array -> int array -> int array
+
+val is_symmetric : group -> int array list -> bool
+(** Whether the connection set is closed under negation. *)
+
+val cayley : group -> int array list -> Graph.t
+(** [cayley g s] has a vertex per group element (vertex index = {!encode})
+    and an edge {a, a+s} for each generator [s].
+    @raise Invalid_argument if the set is not symmetric, or contains the
+    identity. *)
+
+val subgroup_cayley :
+  group -> keep:(int array -> bool) -> int array list -> Graph.t * int array array
+(** [subgroup_cayley g ~keep s] builds the Cayley graph of the subgroup
+    [{a | keep a}] (caller must supply a genuine subgroup predicate and
+    generators inside it). Returns the graph plus the tuple of each vertex,
+    since subgroup elements get re-indexed densely. Used for the paper's
+    even-sum torus subgroup. *)
+
+val paper_torus_generators : int -> int array list
+(** The four diagonal generators (±1, ±1) of the Theorem 12 torus inside
+    Z_{2k}². *)

@@ -1,0 +1,95 @@
+let closeness g =
+  let n = Graph.n g in
+  let ws = Bfs.create_workspace n in
+  Array.init n (fun v ->
+      let r = Bfs.reach ws g v in
+      if r.Bfs.reached < n || n <= 1 || r.Bfs.sum = 0 then 0.0
+      else float_of_int (n - 1) /. float_of_int r.Bfs.sum)
+
+let harmonic g =
+  let n = Graph.n g in
+  let ws = Bfs.create_workspace n in
+  Array.init n (fun v ->
+      Bfs.run ws g v;
+      let acc = ref 0.0 in
+      for u = 0 to n - 1 do
+        if u <> v then begin
+          let d = Bfs.dist ws u in
+          if d <> Bfs.unreachable then acc := !acc +. (1.0 /. float_of_int d)
+        end
+      done;
+      !acc)
+
+let degree g =
+  let n = Graph.n g in
+  Array.init n (fun v ->
+      if n <= 1 then 0.0 else float_of_int (Graph.degree g v) /. float_of_int (n - 1))
+
+let eccentricity g =
+  let n = Graph.n g in
+  let ws = Bfs.create_workspace n in
+  Array.init n (fun v ->
+      let r = Bfs.reach ws g v in
+      if r.Bfs.reached < n || r.Bfs.ecc = 0 then 0.0
+      else 1.0 /. float_of_int r.Bfs.ecc)
+
+(* Brandes (2001), unweighted case: one BFS per source builds the shortest-
+   path DAG (sigma counts, predecessor lists), then dependencies accumulate
+   in reverse BFS order. *)
+let betweenness g =
+  let n = Graph.n g in
+  let centrality = Array.make n 0.0 in
+  let dist = Array.make n (-1) in
+  let sigma = Array.make n 0.0 in
+  let delta = Array.make n 0.0 in
+  let order = Array.make n 0 in
+  let preds = Array.make n [] in
+  for s = 0 to n - 1 do
+    Array.fill dist 0 n (-1);
+    Array.fill sigma 0 n 0.0;
+    Array.fill delta 0 n 0.0;
+    Array.fill preds 0 n [];
+    dist.(s) <- 0;
+    sigma.(s) <- 1.0;
+    order.(0) <- s;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let v = order.(!head) in
+      incr head;
+      Graph.iter_neighbors
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            order.(!tail) <- w;
+            incr tail
+          end;
+          if dist.(w) = dist.(v) + 1 then begin
+            sigma.(w) <- sigma.(w) +. sigma.(v);
+            preds.(w) <- v :: preds.(w)
+          end)
+        g v
+    done;
+    for i = !tail - 1 downto 1 do
+      let w = order.(i) in
+      List.iter
+        (fun v ->
+          delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
+        preds.(w);
+      centrality.(w) <- centrality.(w) +. delta.(w)
+    done
+  done;
+  (* undirected graphs: each pair was counted from both endpoints *)
+  Array.map (fun x -> x /. 2.0) centrality
+
+let most_central c =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > c.(!best) then best := i) c;
+  !best
+
+let spread c =
+  if Array.length c = 0 then 0.0
+  else begin
+    let lo = Array.fold_left Float.min c.(0) c in
+    let hi = Array.fold_left Float.max c.(0) c in
+    hi -. lo
+  end

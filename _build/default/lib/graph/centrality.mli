@@ -1,0 +1,33 @@
+(** Vertex centralities.
+
+    The game's two usage costs are (inverse) centralities: the sum cost is
+    the reciprocal of closeness, the max cost is eccentricity. This module
+    adds the standard family around them, including Brandes' betweenness,
+    so equilibrium structure can be profiled (e.g. the star's center is the
+    unique betweenness maximum; torus equilibria are centrality-flat). *)
+
+val closeness : Graph.t -> float array
+(** [(n-1) / Σ d(v,·)] per vertex; 0.0 for vertices that do not reach the
+    whole graph. *)
+
+val harmonic : Graph.t -> float array
+(** [Σ_{u≠v} 1/d(v,u)] with unreachable terms contributing 0 — well-defined
+    on disconnected graphs. *)
+
+val degree : Graph.t -> float array
+(** Degree normalized by (n-1); the trivial baseline. *)
+
+val eccentricity : Graph.t -> float array
+(** [1 / ecc(v)]; 0.0 when the graph is disconnected. Higher = more
+    central, consistent with the other measures. *)
+
+val betweenness : Graph.t -> float array
+(** Brandes' algorithm (unweighted): for each vertex the sum over pairs
+    (s, t) of the fraction of shortest s–t paths through it. Undirected
+    convention: each unordered pair counted once. O(n·m) time. *)
+
+val most_central : float array -> int
+(** Index of the maximum (ties to the smallest index). *)
+
+val spread : float array -> float
+(** max − min; 0 for centrality-flat (e.g. vertex-transitive) graphs. *)

@@ -1,0 +1,124 @@
+let components_impl g skip =
+  (* BFS labeling; [skip] is an optional vertex treated as deleted. *)
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  let queue = Array.make (max n 1) 0 in
+  let count = ref 0 in
+  for src = 0 to n - 1 do
+    if label.(src) < 0 && src <> skip then begin
+      let c = !count in
+      incr count;
+      label.(src) <- c;
+      queue.(0) <- src;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let v = queue.(!head) in
+        incr head;
+        Graph.iter_neighbors
+          (fun w ->
+            if w <> skip && label.(w) < 0 then begin
+              label.(w) <- c;
+              queue.(!tail) <- w;
+              incr tail
+            end)
+          g v
+      done
+    end
+  done;
+  label, !count
+
+let components g = components_impl g (-1)
+
+let is_connected g =
+  let n = Graph.n g in
+  if n <= 1 then true
+  else begin
+    let ws = Bfs.create_workspace n in
+    Bfs.connected_from ws g 0
+  end
+
+let component_of g v =
+  let label, _ = components g in
+  let target = label.(v) in
+  let acc = ref [] in
+  for u = Graph.n g - 1 downto 0 do
+    if label.(u) = target then acc := u :: !acc
+  done;
+  !acc
+
+let components_without g v =
+  let label, count = components_impl g v in
+  label, count
+
+(* Iterative Tarjan lowlink over an explicit stack.  For each root we track,
+   per stack frame, the vertex, its parent, and the index of the next
+   neighbor to scan. *)
+let lowlink_scan g ~on_cut ~on_bridge =
+  let n = Graph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let child_count = Array.make n 0 in
+  let next_idx = Array.make n 0 in
+  let timer = ref 0 in
+  let stack = Array.make (max n 1) 0 in
+  for root = 0 to n - 1 do
+    if disc.(root) < 0 then begin
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      stack.(0) <- root;
+      let top = ref 0 in
+      while !top >= 0 do
+        let v = stack.(!top) in
+        if next_idx.(v) < Graph.degree g v then begin
+          let w = Graph.nth_neighbor g v next_idx.(v) in
+          next_idx.(v) <- next_idx.(v) + 1;
+          if disc.(w) < 0 then begin
+            parent.(w) <- v;
+            child_count.(v) <- child_count.(v) + 1;
+            disc.(w) <- !timer;
+            low.(w) <- !timer;
+            incr timer;
+            incr top;
+            stack.(!top) <- w
+          end
+          else if w <> parent.(v) then
+            low.(v) <- min low.(v) disc.(w)
+        end
+        else begin
+          (* retreat: fold v's lowlink into its parent and test cut/bridge *)
+          decr top;
+          if !top >= 0 then begin
+            let p = stack.(!top) in
+            low.(p) <- min low.(p) low.(v);
+            if low.(v) >= disc.(p) && (p <> root || child_count.(p) >= 2) then
+              on_cut p;
+            if low.(v) > disc.(p) then
+              on_bridge (min p v) (max p v)
+          end
+        end
+      done
+    end
+  done
+
+let cut_vertices g =
+  let n = Graph.n g in
+  let is_cut = Array.make n false in
+  lowlink_scan g ~on_cut:(fun v -> is_cut.(v) <- true) ~on_bridge:(fun _ _ -> ());
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if is_cut.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let bridges g =
+  let acc = ref [] in
+  lowlink_scan g ~on_cut:(fun _ -> ()) ~on_bridge:(fun u v -> acc := (u, v) :: !acc);
+  List.sort compare !acc
+
+let is_tree g = Graph.n g >= 1 && Graph.m g = Graph.n g - 1 && is_connected g
+
+let is_forest g =
+  let _, count = components g in
+  Graph.m g = Graph.n g - count

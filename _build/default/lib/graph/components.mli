@@ -1,0 +1,31 @@
+(** Connectivity structure: components, cut vertices, bridges.
+
+    Lemma 3 of the paper reasons about cut vertices of max equilibria; the
+    census and the dynamics engine need fast connectivity predicates. The
+    articulation-point / bridge computation is an iterative Tarjan lowlink
+    pass (no recursion, so deep paths do not overflow the stack). *)
+
+val is_connected : Graph.t -> bool
+(** The empty graph and the 1-vertex graph are connected. *)
+
+val components : Graph.t -> int array * int
+(** [components g] is [(label, count)]: [label.(v)] is the component index
+    of [v], in [\[0, count)]. *)
+
+val component_of : Graph.t -> int -> int list
+(** Vertices of the component containing the given vertex, sorted. *)
+
+val cut_vertices : Graph.t -> int list
+(** Articulation points, sorted. *)
+
+val bridges : Graph.t -> (int * int) list
+(** Bridge edges with [u < v], sorted. *)
+
+val is_tree : Graph.t -> bool
+(** Connected with exactly n-1 edges (n >= 1). *)
+
+val is_forest : Graph.t -> bool
+
+val components_without : Graph.t -> int -> int array * int
+(** [components_without g v] labels the components of [G - v]; [label.(v)]
+    is [-1]. Used by the Lemma 3 checker. *)

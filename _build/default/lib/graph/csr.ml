@@ -1,0 +1,74 @@
+type t = {
+  offsets : int array;  (* length n+1 *)
+  targets : int array;  (* length 2m, sorted within each row *)
+}
+
+let of_graph g =
+  let n = Graph.n g in
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + Graph.degree g v
+  done;
+  let targets = Array.make offsets.(n) 0 in
+  for v = 0 to n - 1 do
+    let row = Graph.neighbors g v in
+    Array.blit row 0 targets offsets.(v) (Array.length row)
+  done;
+  { offsets; targets }
+
+let n t = Array.length t.offsets - 1
+
+let m t = Array.length t.targets / 2
+
+let degree t v = t.offsets.(v + 1) - t.offsets.(v)
+
+let iter_neighbors f t v =
+  for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+    f t.targets.(i)
+  done
+
+let mem_edge t v w =
+  let lo = ref t.offsets.(v) and hi = ref (t.offsets.(v + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = t.targets.(mid) in
+    if x = w then found := true else if x < w then lo := mid + 1 else hi := mid - 1
+  done;
+  !found
+
+let bfs_into t src ~dist ~queue =
+  let nv = n t in
+  Array.fill dist 0 nv (-1);
+  dist.(src) <- 0;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    let dnext = dist.(v) + 1 in
+    for i = t.offsets.(v) to t.offsets.(v + 1) - 1 do
+      let w = t.targets.(i) in
+      if dist.(w) < 0 then begin
+        dist.(w) <- dnext;
+        queue.(!tail) <- w;
+        incr tail
+      end
+    done
+  done;
+  !tail
+
+let all_pairs t =
+  let nv = n t in
+  let queue = Array.make (max nv 1) 0 in
+  Array.init nv (fun src ->
+      let dist = Array.make nv (-1) in
+      ignore (bfs_into t src ~dist ~queue);
+      dist)
+
+let to_graph t =
+  let g = Graph.create (n t) in
+  for v = 0 to n t - 1 do
+    iter_neighbors (fun w -> if v < w then Graph.add_edge g v w) t v
+  done;
+  g

@@ -1,0 +1,32 @@
+(** Immutable compressed-sparse-row snapshots.
+
+    The mutable {!Graph.t} representation pays a pointer indirection per
+    adjacency row; for read-only bulk work (all-pairs distances over a
+    frozen equilibrium, the benchmark baselines) a CSR snapshot keeps all
+    targets in one contiguous array. *)
+
+type t
+
+val of_graph : Graph.t -> t
+(** O(n + m); neighbor order within a row is sorted. *)
+
+val n : t -> int
+
+val m : t -> int
+
+val degree : t -> int -> int
+
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+
+val mem_edge : t -> int -> int -> bool
+(** Binary search within the row: O(lg deg). *)
+
+val bfs_into : t -> int -> dist:int array -> queue:int array -> int
+(** [bfs_into t src ~dist ~queue] fills [dist] (−1 for unreached) using
+    [queue] as scratch; both must have length >= n. Returns the number of
+    vertices reached. *)
+
+val all_pairs : t -> int array array
+(** n BFS sweeps over the snapshot. *)
+
+val to_graph : t -> Graph.t

@@ -1,0 +1,105 @@
+let max_graph_vertices = 8
+
+let max_tree_vertices = 10
+
+let pair_list n =
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    for u = v - 1 downto 0 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let connected_mask n pairs mask =
+  (* union-find connectivity straight off the bitmask, without building a
+     graph object for the (many) disconnected subsets *)
+  let uf = Union_find.create n in
+  Array.iteri
+    (fun i (u, v) -> if mask land (1 lsl i) <> 0 then ignore (Union_find.union uf u v))
+    pairs;
+  Union_find.count uf = 1
+
+let graph_of_mask n pairs mask =
+  let g = Graph.create n in
+  Array.iteri
+    (fun i (u, v) -> if mask land (1 lsl i) <> 0 then Graph.add_edge g u v)
+    pairs;
+  g
+
+let all_graphs n f =
+  if n < 0 || n > max_graph_vertices then invalid_arg "Enumerate.all_graphs";
+  let pairs = pair_list n in
+  let total = 1 lsl Array.length pairs in
+  for mask = 0 to total - 1 do
+    f (graph_of_mask n pairs mask)
+  done
+
+let connected_graphs n f =
+  if n < 0 || n > max_graph_vertices then invalid_arg "Enumerate.connected_graphs";
+  if n <= 1 then f (Graph.create n)
+  else begin
+    let pairs = pair_list n in
+    let total = 1 lsl Array.length pairs in
+    for mask = 0 to total - 1 do
+      if connected_mask n pairs mask then f (graph_of_mask n pairs mask)
+    done
+  end
+
+let count_connected_graphs n =
+  let c = ref 0 in
+  connected_graphs n (fun _ -> incr c);
+  !c
+
+let trees n f =
+  if n < 1 || n > max_tree_vertices then invalid_arg "Enumerate.trees";
+  if n <= 2 then f (Random_graphs.tree_of_pruefer n [||])
+  else begin
+    let len = n - 2 in
+    let seq = Array.make len 0 in
+    (* odometer over [0, n)^len *)
+    let rec bump i =
+      if i < 0 then false
+      else if seq.(i) + 1 < n then begin
+        seq.(i) <- seq.(i) + 1;
+        true
+      end
+      else begin
+        seq.(i) <- 0;
+        bump (i - 1)
+      end
+    in
+    let continue = ref true in
+    while !continue do
+      f (Random_graphs.tree_of_pruefer n seq);
+      continue := bump (len - 1)
+    done
+  end
+
+let count_trees n =
+  if n <= 2 then 1
+  else begin
+    let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+    pow n (n - 2)
+  end
+
+let edge_subsets_of g ~size f =
+  if size < 0 then invalid_arg "Enumerate.edge_subsets_of";
+  let es = Array.of_list (Graph.edges g) in
+  let m = Array.length es in
+  let chosen = Array.make (max size 1) (-1) in
+  let rec go depth lo =
+    if depth = size then begin
+      let subset = ref [] in
+      for i = size - 1 downto 0 do
+        subset := es.(chosen.(i)) :: !subset
+      done;
+      f !subset
+    end
+    else
+      for i = lo to m - (size - depth) do
+        chosen.(depth) <- i;
+        go (depth + 1) (i + 1)
+      done
+  in
+  if size <= m then go 0 0

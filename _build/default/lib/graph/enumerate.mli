@@ -1,0 +1,39 @@
+(** Exhaustive enumeration of small graphs.
+
+    The census experiments quantify over *all* connected graphs (n <= 7)
+    and *all* labeled trees (n <= 10): every theorem about equilibria is
+    checked against the full universe in that range, not a sample.
+    Enumeration is over labeled graphs; callers deduplicate up to
+    isomorphism with {!Canon} where needed. *)
+
+val max_graph_vertices : int
+(** 8: all 2^28 edge subsets is the practical ceiling; census defaults stop
+    at 7. *)
+
+val max_tree_vertices : int
+(** 10: 10^8 Prüfer sequences is the ceiling; census defaults stop at 9. *)
+
+val connected_graphs : int -> (Graph.t -> unit) -> unit
+(** [connected_graphs n f] calls [f] once per connected labeled graph on
+    [n] vertices. The same [Graph.t] buffer is NOT reused; each call gets a
+    fresh graph the callback may keep. Ordering follows the edge-subset
+    bitmask. @raise Invalid_argument beyond the cap. *)
+
+val count_connected_graphs : int -> int
+(** Convenience: number of connected labeled graphs on n vertices
+    (sequence A001187: 1, 1, 1, 4, 38, 728, 26704, 1866256, ...). *)
+
+val all_graphs : int -> (Graph.t -> unit) -> unit
+(** Every labeled graph, connected or not. *)
+
+val trees : int -> (Graph.t -> unit) -> unit
+(** [trees n f] visits all [n^(n-2)] labeled trees via Prüfer sequences
+    (all distinct; Cayley's formula). For n <= 2 visits the unique tree. *)
+
+val count_trees : int -> int
+(** [n^(n-2)] for n >= 2, else 1. *)
+
+val edge_subsets_of :
+  Graph.t -> size:int -> ((int * int) list -> unit) -> unit
+(** All [size]-subsets of the host graph's edges — used by the k-swap
+    stability checker. *)

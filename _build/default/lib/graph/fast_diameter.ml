@@ -1,0 +1,97 @@
+type stats = { diameter : int; bfs_runs : int }
+
+(* BFS with parent tracking, reused by the sweep and the midpoint hunt. *)
+let bfs_parents g src dist parent queue =
+  let n = Graph.n g in
+  Array.fill dist 0 n (-1);
+  dist.(src) <- 0;
+  parent.(src) <- -1;
+  queue.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    Graph.iter_neighbors
+      (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          parent.(w) <- v;
+          queue.(!tail) <- w;
+          incr tail
+        end)
+      g v
+  done;
+  !tail
+
+let farthest dist n =
+  let best = ref 0 in
+  for v = 1 to n - 1 do
+    if dist.(v) > dist.(!best) then best := v
+  done;
+  !best
+
+let max_degree_vertex g =
+  let best = ref 0 in
+  for v = 1 to Graph.n g - 1 do
+    if Graph.degree g v > Graph.degree g !best then best := v
+  done;
+  !best
+
+let double_sweep g =
+  (* returns (a, b, lower_bound, midpoint, bfs_runs) or None when
+     disconnected *)
+  let n = Graph.n g in
+  let dist = Array.make n (-1) and parent = Array.make n (-1) in
+  let queue = Array.make (max n 1) 0 in
+  let start = max_degree_vertex g in
+  if bfs_parents g start dist parent queue < n then None
+  else begin
+    let a = farthest dist n in
+    ignore (bfs_parents g a dist parent queue);
+    let b = farthest dist n in
+    let lb = dist.(b) in
+    (* walk halfway back from b toward a along BFS parents *)
+    let mid = ref b in
+    for _ = 1 to lb / 2 do
+      mid := parent.(!mid)
+    done;
+    Some (a, b, lb, !mid, 2)
+  end
+
+let double_sweep_lower_bound g =
+  if Graph.n g = 0 then None
+  else Option.map (fun (_, _, lb, _, _) -> lb) (double_sweep g)
+
+let diameter_with_stats g =
+  let n = Graph.n g in
+  if n = 0 then None
+  else if n = 1 then Some { diameter = 0; bfs_runs = 0 }
+  else
+    match double_sweep g with
+    | None -> None
+    | Some (_, _, sweep_lb, mid, sweep_runs) ->
+      let dist = Array.make n (-1) and parent = Array.make n (-1) in
+      let queue = Array.make n 0 in
+      ignore (bfs_parents g mid dist parent queue);
+      let runs = ref (sweep_runs + 1) in
+      let levels = Array.copy dist in
+      let top = Array.fold_left max 0 levels in
+      let lb = ref (max sweep_lb top) in
+      (* process vertices by decreasing BFS level; at level i the best any
+         remaining vertex can contribute is 2i *)
+      let ecc_dist = Array.make n (-1) in
+      let i = ref top in
+      while 2 * !i > !lb do
+        for v = 0 to n - 1 do
+          if levels.(v) = !i && 2 * !i > !lb then begin
+            ignore (bfs_parents g v ecc_dist parent queue);
+            incr runs;
+            let e = Array.fold_left max 0 ecc_dist in
+            if e > !lb then lb := e
+          end
+        done;
+        decr i
+      done;
+      Some { diameter = !lb; bfs_runs = !runs }
+
+let diameter g = Option.map (fun s -> s.diameter) (diameter_with_stats g)

@@ -1,0 +1,281 @@
+let empty n = Graph.create n
+
+let path n =
+  let g = Graph.create n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  g
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need n >= 3";
+  let g = path n in
+  Graph.add_edge g (n - 1) 0;
+  g
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star: need n >= 1";
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    Graph.add_edge g 0 v
+  done;
+  g
+
+let double_star a b =
+  if a < 0 || b < 0 then invalid_arg "Generators.double_star";
+  let g = Graph.create (2 + a + b) in
+  Graph.add_edge g 0 1;
+  for i = 0 to a - 1 do
+    Graph.add_edge g 0 (2 + i)
+  done;
+  for i = 0 to b - 1 do
+    Graph.add_edge g 1 (2 + a + i)
+  done;
+  g
+
+let complete n =
+  let g = Graph.create n in
+  for v = 0 to n - 1 do
+    for u = 0 to v - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  g
+
+let complete_bipartite a b =
+  let g = Graph.create (a + b) in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  g
+
+let grid rows cols =
+  let g = Graph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Graph.add_edge g (id r c) (id r (c + 1));
+      if r + 1 < rows then Graph.add_edge g (id r c) (id (r + 1) c)
+    done
+  done;
+  g
+
+let torus_grid rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Generators.torus_grid: need >= 3";
+  let g = Graph.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      Graph.add_edge g (id r c) (id r ((c + 1) mod cols));
+      Graph.add_edge g (id r c) (id ((r + 1) mod rows) c)
+    done
+  done;
+  g
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Generators.hypercube: need 0 <= d <= 20";
+  let n = 1 lsl d in
+  let g = Graph.create n in
+  for v = 0 to n - 1 do
+    for bit = 0 to d - 1 do
+      let w = v lxor (1 lsl bit) in
+      if v < w then Graph.add_edge g v w
+    done
+  done;
+  g
+
+let circulant n offsets =
+  if n < 1 then invalid_arg "Generators.circulant: need n >= 1";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      if s < 1 || s > n / 2 then
+        invalid_arg "Generators.circulant: offset out of [1, n/2]";
+      if Hashtbl.mem seen s then
+        invalid_arg "Generators.circulant: duplicate offset";
+      Hashtbl.add seen s ())
+    offsets;
+  let g = Graph.create n in
+  List.iter
+    (fun s ->
+      for v = 0 to n - 1 do
+        ignore (Graph.try_add_edge g v ((v + s) mod n))
+      done)
+    offsets;
+  g
+
+let wheel n =
+  if n < 3 then invalid_arg "Generators.wheel: need n >= 3";
+  let g = Graph.create (n + 1) in
+  for i = 1 to n do
+    Graph.add_edge g 0 i;
+    Graph.add_edge g i (if i = n then 1 else i + 1)
+  done;
+  g
+
+let friendship k =
+  if k < 1 then invalid_arg "Generators.friendship: need k >= 1";
+  let g = Graph.create ((2 * k) + 1) in
+  for i = 0 to k - 1 do
+    let a = 1 + (2 * i) and b = 2 + (2 * i) in
+    Graph.add_edge g 0 a;
+    Graph.add_edge g 0 b;
+    Graph.add_edge g a b
+  done;
+  g
+
+let cocktail_party k =
+  if k < 1 then invalid_arg "Generators.cocktail_party: need k >= 1";
+  let n = 2 * k in
+  let g = Graph.create n in
+  for v = 0 to n - 1 do
+    for u = 0 to v - 1 do
+      if u / 2 <> v / 2 then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let complete_multipartite parts =
+  List.iter
+    (fun s -> if s < 1 then invalid_arg "Generators.complete_multipartite: empty part")
+    parts;
+  let n = List.fold_left ( + ) 0 parts in
+  let part_of = Array.make n 0 in
+  let _ =
+    List.fold_left
+      (fun (idx, v) size ->
+        for i = v to v + size - 1 do
+          part_of.(i) <- idx
+        done;
+        (idx + 1, v + size))
+      (0, 0) parts
+  in
+  let g = Graph.create n in
+  for v = 0 to n - 1 do
+    for u = 0 to v - 1 do
+      if part_of.(u) <> part_of.(v) then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let caterpillar spine legs =
+  if spine < 1 then invalid_arg "Generators.caterpillar: need spine >= 1";
+  let leg i = match List.nth_opt legs i with Some l -> l | None -> 0 in
+  let total_legs = List.fold_left ( + ) 0 (List.init spine leg) in
+  let g = Graph.create (spine + total_legs) in
+  for i = 0 to spine - 2 do
+    Graph.add_edge g i (i + 1)
+  done;
+  let next = ref spine in
+  for i = 0 to spine - 1 do
+    for _ = 1 to leg i do
+      Graph.add_edge g i !next;
+      incr next
+    done
+  done;
+  g
+
+let spider arm_lengths =
+  List.iter
+    (fun l -> if l < 1 then invalid_arg "Generators.spider: arm length >= 1")
+    arm_lengths;
+  let n = 1 + List.fold_left ( + ) 0 arm_lengths in
+  let g = Graph.create n in
+  let next = ref 1 in
+  List.iter
+    (fun len ->
+      let prev = ref 0 in
+      for _ = 1 to len do
+        Graph.add_edge g !prev !next;
+        prev := !next;
+        incr next
+      done)
+    arm_lengths;
+  g
+
+let barbell k p =
+  if k < 2 || p < 0 then invalid_arg "Generators.barbell";
+  let n = (2 * k) + p in
+  let g = Graph.create n in
+  for v = 0 to k - 1 do
+    for u = 0 to v - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  for v = k + p to n - 1 do
+    for u = k + p to v - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  (* bridge path from clique-1 vertex k-1 through p middles to clique-2
+     vertex k+p *)
+  let prev = ref (k - 1) in
+  for mid = k to k + p - 1 do
+    Graph.add_edge g !prev mid;
+    prev := mid
+  done;
+  Graph.add_edge g !prev (k + p);
+  g
+
+let sunlet n =
+  if n < 3 then invalid_arg "Generators.sunlet: need n >= 3";
+  let g = Graph.create (2 * n) in
+  for i = 0 to n - 1 do
+    Graph.add_edge g i ((i + 1) mod n);
+    Graph.add_edge g i (n + i)
+  done;
+  g
+
+let petersen () =
+  let g = Graph.create 10 in
+  for i = 0 to 4 do
+    Graph.add_edge g i ((i + 1) mod 5);
+    Graph.add_edge g i (5 + i);
+    Graph.add_edge g (5 + i) (5 + ((i + 2) mod 5))
+  done;
+  g
+
+let attach_pendant g v =
+  let n = Graph.n g in
+  if v < 0 || v >= n then invalid_arg "Generators.attach_pendant";
+  let out = Graph.create (n + 1) in
+  Graph.iter_edges (fun a b -> Graph.add_edge out a b) g;
+  Graph.add_edge out v n;
+  out
+
+let lollipop k p =
+  if k < 1 || p < 0 then invalid_arg "Generators.lollipop";
+  let g = Graph.create (k + p) in
+  for v = 0 to k - 1 do
+    for u = 0 to v - 1 do
+      Graph.add_edge g u v
+    done
+  done;
+  for i = 0 to p - 1 do
+    Graph.add_edge g (k - 1 + i) (k + i)
+  done;
+  g
+
+let path_with_blobs ~arms ~arm_len ~blob =
+  if arms < 1 || arm_len < 1 || blob < 1 then
+    invalid_arg "Generators.path_with_blobs";
+  let n = 1 + (arms * (arm_len + blob)) in
+  let g = Graph.create n in
+  for a = 0 to arms - 1 do
+    let base = 1 + (a * (arm_len + blob)) in
+    Graph.add_edge g 0 base;
+    for i = 0 to arm_len - 2 do
+      Graph.add_edge g (base + i) (base + i + 1)
+    done;
+    let tip = base + arm_len - 1 in
+    let blob_base = base + arm_len in
+    for i = 0 to blob - 1 do
+      Graph.add_edge g tip (blob_base + i);
+      for j = 0 to i - 1 do
+        Graph.add_edge g (blob_base + j) (blob_base + i)
+      done
+    done
+  done;
+  g

@@ -1,0 +1,97 @@
+(** Deterministic graph families.
+
+    These are the fixed constructions used throughout the paper and its
+    experiments: stars and double stars (the two max-equilibrium tree
+    families of Section 2), paths and cycles (dynamics seeds and
+    counterexample scaffolding), and the standard product families
+    (grids, tori, hypercubes, circulants) that feed the Cayley-graph
+    experiments of Section 5. *)
+
+val empty : int -> Graph.t
+
+val path : int -> Graph.t
+(** Vertices 0..n-1 in a line. *)
+
+val cycle : int -> Graph.t
+(** Requires n >= 3. *)
+
+val star : int -> Graph.t
+(** Center 0 joined to 1..n-1; the unique sum-equilibrium tree (Theorem 1).
+    Requires n >= 1. *)
+
+val double_star : int -> int -> Graph.t
+(** [double_star a b] is the diameter-3 max-equilibrium tree of Figure 2:
+    adjacent roots 0 and 1, with [a] leaves on root 0 and [b] leaves on
+    root 1 (leaves 2..a+1 and a+2..a+b+1). Requires [a >= 0 && b >= 0]. *)
+
+val complete : int -> Graph.t
+
+val complete_bipartite : int -> int -> Graph.t
+(** Parts [0..a-1] and [a..a+b-1]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols], vertex (r,c) at index [r*cols + c]. *)
+
+val torus_grid : int -> int -> Graph.t
+(** Axis-aligned torus (wrap-around grid). Both dimensions >= 3. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d] on 2^d vertices; vertices adjacent iff Hamming distance
+    1. Requires [0 <= d <= 20]. *)
+
+val circulant : int -> int list -> Graph.t
+(** [circulant n offsets]: vertex [i] adjacent to [i ± s mod n] for each
+    offset [s]. Offsets must be in [\[1, n/2\]]; duplicates rejected. *)
+
+val wheel : int -> Graph.t
+(** [wheel n]: hub 0 joined to every vertex of the cycle 1..n. n >= 3. *)
+
+val friendship : int -> Graph.t
+(** [friendship k]: k triangles sharing the hub 0 (2k+1 vertices) — the
+    classic diameter-2 graph where every pair has exactly one common
+    neighbor. k >= 1. *)
+
+val cocktail_party : int -> Graph.t
+(** [cocktail_party k]: K_{k×2} — 2k vertices, everyone adjacent except the
+    k antipodal pairs (2i, 2i+1). k >= 1. *)
+
+val complete_multipartite : int list -> Graph.t
+(** Parts of the given sizes in vertex order; edges exactly between
+    different parts. *)
+
+val caterpillar : int -> int list -> Graph.t
+(** [caterpillar spine legs]: a path 0..spine-1 with [List.nth legs i]
+    leaves attached to spine vertex i. [legs] may be shorter than the
+    spine (missing entries mean 0). *)
+
+val spider : int list -> Graph.t
+(** [spider arm_lengths]: paths of the given lengths glued at hub 0. *)
+
+val barbell : int -> int -> Graph.t
+(** [barbell k p]: two k-cliques joined by a path of [p] intermediate
+    vertices (p >= 0; p = 0 joins them by a single edge). *)
+
+val sunlet : int -> Graph.t
+(** [sunlet n]: the corona C_n ⊙ K₁ — an n-cycle 0..n-1 with one pendant
+    leaf n+i attached to each cycle vertex i. 2n vertices, 2n edges,
+    diameter ⌊n/2⌋ + 2. Requires n >= 3. The odd sunlets with n <= 7 are
+    max equilibria (see Constructions.max_diameter4_small). *)
+
+val petersen : unit -> Graph.t
+(** The Petersen graph: 10 vertices (outer C5 = 0..4, inner pentagram =
+    5..9), 3-regular, vertex-transitive, diameter 2, girth 5. *)
+
+val attach_pendant : Graph.t -> int -> Graph.t
+(** [attach_pendant g v] is a copy of [g] with one new vertex (index n)
+    joined only to [v]. *)
+
+val lollipop : int -> int -> Graph.t
+(** Clique of size [k] with a path of length [p] attached — a classic
+    high-diameter test input. *)
+
+val path_with_blobs : arms:int -> arm_len:int -> blob:int -> Graph.t
+(** The Section 5 non-example for distance uniformity: a hub vertex with
+    [arms] paths of length [arm_len], each ending in a clique ("blob") of
+    [blob] vertices. Almost all *pairs* sit at one distance but individual
+    vertices do not, showing why Conjecture 14 needs per-vertex
+    uniformity. *)

@@ -1,0 +1,73 @@
+(* graph6: n encoded as one byte (n+63) for n <= 62, else '~' followed by
+   three bytes of 6 bits each; then the upper triangle of the adjacency
+   matrix in column order (x_{0,1}, x_{0,2}, x_{1,2}, x_{0,3}, ...) packed
+   big-endian into 6-bit groups, each group offset by 63. *)
+
+let encode g =
+  let n = Graph.n g in
+  let buf = Buffer.create 16 in
+  if n <= 62 then Buffer.add_char buf (Char.chr (n + 63))
+  else if n <= 258047 then begin
+    Buffer.add_char buf '~';
+    Buffer.add_char buf (Char.chr (((n lsr 12) land 63) + 63));
+    Buffer.add_char buf (Char.chr (((n lsr 6) land 63) + 63));
+    Buffer.add_char buf (Char.chr ((n land 63) + 63))
+  end
+  else invalid_arg "Graph6.encode: graph too large";
+  let bit_count = n * (n - 1) / 2 in
+  let group = ref 0 and used = ref 0 in
+  let flush_groups = Buffer.create 16 in
+  let emit_bit b =
+    group := (!group lsl 1) lor b;
+    incr used;
+    if !used = 6 then begin
+      Buffer.add_char flush_groups (Char.chr (!group + 63));
+      group := 0;
+      used := 0
+    end
+  in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      emit_bit (if Graph.mem_edge g u v then 1 else 0)
+    done
+  done;
+  if bit_count mod 6 <> 0 then begin
+    let pad = 6 - (bit_count mod 6) in
+    for _ = 1 to pad do
+      emit_bit 0
+    done
+  end;
+  Buffer.add_buffer buf flush_groups;
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Graph6.decode: empty";
+  let byte i =
+    if i >= len then invalid_arg "Graph6.decode: truncated";
+    let c = Char.code s.[i] in
+    if c < 63 || c > 126 then invalid_arg "Graph6.decode: bad byte";
+    c - 63
+  in
+  let n, start =
+    if s.[0] = '~' then
+      ((byte 1 lsl 12) lor (byte 2 lsl 6) lor byte 3), 4
+    else byte 0, 1
+  in
+  let g = Graph.create n in
+  let bit_count = n * (n - 1) / 2 in
+  let expected_groups = (bit_count + 5) / 6 in
+  if len - start <> expected_groups then
+    invalid_arg "Graph6.decode: wrong length";
+  let bit k =
+    let grp = byte (start + (k / 6)) in
+    (grp lsr (5 - (k mod 6))) land 1
+  in
+  let k = ref 0 in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      if bit !k = 1 then Graph.add_edge g u v;
+      incr k
+    done
+  done;
+  g

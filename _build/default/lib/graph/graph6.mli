@@ -1,0 +1,11 @@
+(** graph6 encoding (McKay's format).
+
+    Compact ASCII serialization of undirected graphs, used to persist census
+    results and to exchange instances with external tools (nauty, House of
+    Graphs). Supports n < 63 (the small-graph regime of the census) plus the
+    4-byte extended header up to n < 258048. *)
+
+val encode : Graph.t -> string
+
+val decode : string -> Graph.t
+(** @raise Invalid_argument on malformed input. *)

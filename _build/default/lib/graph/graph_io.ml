@@ -1,0 +1,54 @@
+let to_dot ?(name = "g") ?label g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  let vertex v =
+    match label with
+    | Some f -> Printf.sprintf "%S" (f v)
+    | None -> string_of_int v
+  in
+  for v = 0 to Graph.n g - 1 do
+    if Graph.degree g v = 0 then
+      Buffer.add_string buf (Printf.sprintf "  %s;\n" (vertex v))
+  done;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  %s -- %s;\n" (vertex u) (vertex v)))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_edge_list g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Graph.n g) (Graph.m g));
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    (Graph.edges g);
+  Buffer.contents buf
+
+let of_edge_list s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let parse_pair line =
+    match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+    | [ a; b ] -> (
+      match int_of_string_opt a, int_of_string_opt b with
+      | Some a, Some b -> a, b
+      | _ -> invalid_arg ("Graph_io.of_edge_list: bad line " ^ line))
+    | _ -> invalid_arg ("Graph_io.of_edge_list: bad line " ^ line)
+  in
+  match lines with
+  | [] -> invalid_arg "Graph_io.of_edge_list: empty input"
+  | header :: rest ->
+    let n, m = parse_pair header in
+    if n < 0 || m < 0 then invalid_arg "Graph_io.of_edge_list: bad header";
+    let g = Graph.create n in
+    List.iter
+      (fun line ->
+        let u, v = parse_pair line in
+        Graph.add_edge g u v)
+      rest;
+    if Graph.m g <> m then
+      invalid_arg "Graph_io.of_edge_list: edge count mismatch with header";
+    g

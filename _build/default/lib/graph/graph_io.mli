@@ -1,0 +1,17 @@
+(** Text interchange formats beyond graph6.
+
+    DOT output feeds Graphviz for figures; the whitespace edge-list format
+    round-trips through the CLI and is trivial to produce from any other
+    tool. *)
+
+val to_dot : ?name:string -> ?label:(int -> string) -> Graph.t -> string
+(** Undirected DOT ([graph { ... }]). [label] overrides the default
+    numeric vertex names; isolated vertices are emitted explicitly. *)
+
+val to_edge_list : Graph.t -> string
+(** First line "n m", then one "u v" line per edge (u < v, sorted). *)
+
+val of_edge_list : string -> Graph.t
+(** Inverse of {!to_edge_list}; blank lines and [#] comments ignored.
+    @raise Invalid_argument on malformed input, out-of-range endpoints,
+    duplicates, or a wrong edge count. *)

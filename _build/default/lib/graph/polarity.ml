@@ -1,0 +1,73 @@
+let is_prime q =
+  if q < 2 then false
+  else begin
+    let rec loop d = d * d > q || (q mod d <> 0 && loop (d + 1)) in
+    loop 2
+  end
+
+let require_prime q =
+  if not (is_prime q) then invalid_arg "Polarity: q must be prime"
+
+let point_count q = (q * q) + q + 1
+
+(* Points of PG(2,q) as normalized homogeneous triples (x, y, z) over F_q:
+   first nonzero coordinate equal to 1.  The canonical enumeration is
+   (1, y, z), (0, 1, z), (0, 0, 1). *)
+let points q =
+  let pts = ref [] in
+  pts := [ (0, 0, 1) ];
+  for z = q - 1 downto 0 do
+    pts := (0, 1, z) :: !pts
+  done;
+  for y = q - 1 downto 0 do
+    for z = q - 1 downto 0 do
+      pts := (1, y, z) :: !pts
+    done
+  done;
+  let arr = Array.of_list !pts in
+  assert (Array.length arr = point_count q);
+  arr
+
+let dot q (x1, y1, z1) (x2, y2, z2) =
+  ((x1 * x2) + (y1 * y2) + (z1 * z2)) mod q
+
+let pg2 q =
+  require_prime q;
+  let pts = points q in
+  let n = Array.length pts in
+  (* Lines of PG(2,q) are also indexed by normalized triples: the line with
+     coefficients L contains exactly the points P with L·P = 0. *)
+  Array.mapi
+    (fun li line ->
+      let members = ref [] in
+      for pi = n - 1 downto 0 do
+        if dot q line pts.(pi) = 0 then members := pts.(pi) :: !members
+      done;
+      let idx_of p =
+        let rec find i = if pts.(i) = p then i else find (i + 1) in
+        find 0
+      in
+      li, List.map idx_of !members)
+    pts
+
+let incidence_graph q =
+  require_prime q;
+  let n = point_count q in
+  let g = Graph.create (2 * n) in
+  let lines = pg2 q in
+  Array.iter
+    (fun (li, members) -> List.iter (fun pi -> Graph.add_edge g pi (n + li)) members)
+    lines;
+  g
+
+let polarity_graph q =
+  require_prime q;
+  let pts = points q in
+  let n = Array.length pts in
+  let g = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      if dot q pts.(i) pts.(j) = 0 then Graph.add_edge g i j
+    done
+  done;
+  g

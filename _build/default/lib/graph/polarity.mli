@@ -1,0 +1,31 @@
+(** Finite projective planes and the Erdős–Rényi polarity graph ER_q.
+
+    Albers et al. (SODA'06) disproved the tree conjecture for the sum game
+    with an equilibrium "arising from finite projective planes"; all such
+    known examples have diameter 2 (the fact motivating Theorem 5). This
+    module builds PG(2,q) over a prime field and its polarity graph — the
+    canonical diameter-2, girth-≥-5-ish dense family derived from projective
+    planes — so the census machinery can *measure* its equilibrium status
+    instead of citing it. *)
+
+val is_prime : int -> bool
+
+val pg2 : int -> (int * int list) array
+(** [pg2 q] for prime [q] returns the lines of PG(2,q): an array of
+    [q² + q + 1] entries [(line_index, points)], each line containing
+    [q + 1] point indices in [\[0, q² + q + 1)]. Point i is the
+    normalized homogeneous triple with rank i. *)
+
+val incidence_graph : int -> Graph.t
+(** Bipartite point–line incidence graph of PG(2,q): [2(q² + q + 1)]
+    vertices, points first. Girth 6, diameter 3. *)
+
+val polarity_graph : int -> Graph.t
+(** ER_q: vertices are the points of PG(2,q); [u ~ v] iff the dot product
+    of their homogeneous coordinates is 0 mod q (orthogonal polarity),
+    excluding self-loops at absolute points. Diameter 2,
+    [½ q (q+1)²] edges.
+    @raise Invalid_argument if [q] is not prime. *)
+
+val point_count : int -> int
+(** [q² + q + 1]. *)

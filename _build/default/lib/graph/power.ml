@@ -1,0 +1,18 @@
+let power g x =
+  if x < 1 then invalid_arg "Power.power: need x >= 1";
+  let n = Graph.n g in
+  let out = Graph.create n in
+  let ws = Bfs.create_workspace n in
+  for u = 0 to n - 1 do
+    Bfs.run ws g u;
+    for v = u + 1 to n - 1 do
+      let d = Bfs.dist ws v in
+      if d >= 1 && d <= x then Graph.add_edge out u v
+    done
+  done;
+  out
+
+let power_within g x =
+  if x < 1 then invalid_arg "Power.power_within: need x >= 1";
+  let dist = Bfs.all_pairs g in
+  fun u v -> u <> v && dist.(u).(v) <= x

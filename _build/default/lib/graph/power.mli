@@ -1,0 +1,13 @@
+(** Graph powers.
+
+    Theorem 13 converts a sum-equilibrium graph into a distance-uniform
+    graph by taking the x-th power: distances collapse to ⌈d/x⌉. *)
+
+val power : Graph.t -> int -> Graph.t
+(** [power g x] joins [u, v] iff [1 <= d(u,v) <= x]. Requires [x >= 1].
+    O(n·m) via one BFS per vertex. Disconnected inputs are allowed; only
+    finite distances produce edges. *)
+
+val power_within : Graph.t -> int -> (int -> int -> bool)
+(** [power_within g x] is a membership oracle for the power graph's edge
+    set, backed by a precomputed distance matrix. *)

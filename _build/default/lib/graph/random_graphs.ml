@@ -1,0 +1,222 @@
+let gnp rng n p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Random_graphs.gnp: p out of range";
+  let g = Graph.create n in
+  for v = 0 to n - 1 do
+    for u = 0 to v - 1 do
+      if Prng.bernoulli rng p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let max_edges n = n * (n - 1) / 2
+
+(* Pair index <-> edge bijection: edge (u, v) with u < v has index
+   v*(v-1)/2 + u. *)
+let decode_edge code =
+  let v = int_of_float (Float.floor ((1.0 +. sqrt (1.0 +. (8.0 *. float_of_int code))) /. 2.0)) in
+  (* floating point may be off by one; correct locally *)
+  let v = ref v in
+  while !v * (!v - 1) / 2 > code do
+    decr v
+  done;
+  while (!v + 1) * !v / 2 <= code do
+    incr v
+  done;
+  let u = code - (!v * (!v - 1) / 2) in
+  u, !v
+
+let gnm rng n m =
+  if m < 0 || m > max_edges n then invalid_arg "Random_graphs.gnm: bad m";
+  let g = Graph.create n in
+  let codes = Prng.sample_distinct rng ~n:(max_edges n) ~k:m in
+  Array.iter
+    (fun code ->
+      let u, v = decode_edge code in
+      Graph.add_edge g u v)
+    codes;
+  g
+
+let tree_of_pruefer n seq =
+  (* Standard decoding: degree counts, then pair each sequence entry with
+     the smallest current leaf. *)
+  assert (Array.length seq = max (n - 2) 0);
+  let g = Graph.create n in
+  if n = 2 then Graph.add_edge g 0 1
+  else if n > 2 then begin
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+    (* min-heap replaced by a pointer scan: leaves only ever decrease *)
+    let module H = Set.Make (Int) in
+    let leaves =
+      ref (Array.to_list (Array.init n (fun i -> i))
+          |> List.filter (fun v -> deg.(v) = 1)
+          |> H.of_list)
+    in
+    Array.iter
+      (fun v ->
+        let leaf = H.min_elt !leaves in
+        leaves := H.remove leaf !leaves;
+        Graph.add_edge g leaf v;
+        deg.(v) <- deg.(v) - 1;
+        if deg.(v) = 1 then leaves := H.add v !leaves)
+      seq;
+    match H.elements !leaves with
+    | [ a; b ] -> Graph.add_edge g a b
+    | _ -> assert false
+  end;
+  g
+
+let tree rng n =
+  if n < 1 then invalid_arg "Random_graphs.tree: need n >= 1";
+  let seq = Array.init (max (n - 2) 0) (fun _ -> Prng.int rng n) in
+  tree_of_pruefer n seq
+
+let connected_gnm rng n m =
+  if n >= 1 && m < n - 1 then invalid_arg "Random_graphs.connected_gnm: m < n-1";
+  if m > max_edges n then invalid_arg "Random_graphs.connected_gnm: m too big";
+  let g = tree rng n in
+  let extra = ref (m - (Graph.m g)) in
+  (* rejection-sample the extra edges; duplicate probability is low until m
+     approaches C(n,2), where the loop still terminates because we draw
+     uniformly over all pairs *)
+  while !extra > 0 do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v && Graph.try_add_edge g u v then decr extra
+  done;
+  g
+
+let regular rng n d =
+  if d < 0 || d >= max n 1 then invalid_arg "Random_graphs.regular: bad d";
+  if n * d mod 2 <> 0 then invalid_arg "Random_graphs.regular: nd odd";
+  let stubs = Array.make (n * d) 0 in
+  for v = 0 to n - 1 do
+    for i = 0 to d - 1 do
+      stubs.((v * d) + i) <- v
+    done
+  done;
+  let rec attempt () =
+    Prng.shuffle_in_place rng stubs;
+    let g = Graph.create n in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n * d do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      if u = v || not (Graph.try_add_edge g u v) then ok := false;
+      i := !i + 2
+    done;
+    if !ok then g else attempt ()
+  in
+  attempt ()
+
+let preferential_attachment rng n k =
+  if k < 1 || n < k + 1 then invalid_arg "Random_graphs.preferential_attachment";
+  let g = Graph.create n in
+  (* endpoint multiset: vertex appears once per incident edge, giving the
+     degree-proportional sampling distribution *)
+  let endpoints = Vec.create ~dummy:(-1) () in
+  for v = 0 to k do
+    for u = 0 to v - 1 do
+      Graph.add_edge g u v;
+      Vec.push endpoints u;
+      Vec.push endpoints v
+    done
+  done;
+  for v = k + 1 to n - 1 do
+    let chosen = Hashtbl.create k in
+    while Hashtbl.length chosen < k do
+      let idx = Prng.int rng (Vec.length endpoints) in
+      let u = Vec.get endpoints idx in
+      if not (Hashtbl.mem chosen u) then Hashtbl.add chosen u ()
+    done;
+    Hashtbl.iter
+      (fun u () ->
+        Graph.add_edge g u v;
+        Vec.push endpoints u;
+        Vec.push endpoints v)
+      chosen
+  done;
+  g
+
+let watts_strogatz rng n k beta =
+  if k < 1 || 2 * k > n - 1 then invalid_arg "Random_graphs.watts_strogatz";
+  if beta < 0.0 || beta > 1.0 then invalid_arg "Random_graphs.watts_strogatz";
+  let g = Graph.create n in
+  for v = 0 to n - 1 do
+    for s = 1 to k do
+      ignore (Graph.try_add_edge g v ((v + s) mod n))
+    done
+  done;
+  (* rewire pass: detach the far endpoint with probability beta *)
+  let es = Graph.edges g in
+  List.iter
+    (fun (u, v) ->
+      if Prng.bernoulli rng beta then begin
+        let w = Prng.int rng n in
+        if w <> u && not (Graph.mem_edge g u w) then begin
+          Graph.remove_edge g u v;
+          Graph.add_edge g u w
+        end
+      end)
+    es;
+  g
+
+let uniform_spanning_tree rng g =
+  let n = Graph.n g in
+  if n = 0 then Graph.create 0
+  else begin
+    if not (Components.is_connected g) then
+      invalid_arg "Random_graphs.uniform_spanning_tree: host disconnected";
+    (* Wilson: grow the tree by loop-erased random walks from each
+       untouched vertex to the current tree.  next.(v) records the walk's
+       latest successor of v; retracing from the start erases loops
+       implicitly because overwritten successors forget them. *)
+    let in_tree = Array.make n false in
+    let next = Array.make n (-1) in
+    let out = Graph.create n in
+    let root = Prng.int rng n in
+    in_tree.(root) <- true;
+    for start = 0 to n - 1 do
+      if not in_tree.(start) then begin
+        let v = ref start in
+        while not in_tree.(!v) do
+          let deg = Graph.degree g !v in
+          let w = Graph.nth_neighbor g !v (Prng.int rng deg) in
+          next.(!v) <- w;
+          v := w
+        done;
+        (* retrace the loop-erased path and add it to the tree *)
+        let v = ref start in
+        while not in_tree.(!v) do
+          in_tree.(!v) <- true;
+          Graph.add_edge out !v next.(!v);
+          v := next.(!v)
+        done
+      end
+    done;
+    out
+  end
+
+let spanning_connected_subgraph rng g m =
+  let n = Graph.n g in
+  if m > Graph.m g then invalid_arg "Random_graphs.spanning_connected_subgraph";
+  (* random spanning tree: randomized BFS/DFS hybrid via shuffled edges and
+     union-find (uniformity is not needed, connectivity is) *)
+  let es = Array.of_list (Graph.edges g) in
+  Prng.shuffle_in_place rng es;
+  let uf = Union_find.create n in
+  let out = Graph.create n in
+  Array.iter
+    (fun (u, v) ->
+      if Union_find.union uf u v then Graph.add_edge out u v)
+    es;
+  if not (Components.is_connected out) then
+    invalid_arg "Random_graphs.spanning_connected_subgraph: input disconnected";
+  if m < Graph.m out then
+    invalid_arg "Random_graphs.spanning_connected_subgraph: m below n-1";
+  let i = ref 0 in
+  while Graph.m out < m do
+    let u, v = es.(!i) in
+    ignore (Graph.try_add_edge out u v);
+    incr i
+  done;
+  out

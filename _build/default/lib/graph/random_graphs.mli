@@ -1,0 +1,53 @@
+(** Random graph models, all seeded through {!Prng.t}.
+
+    These provide the initial conditions for the dynamics experiments
+    (Theorem 9 / Lemma 2 sweeps need many independent starting networks with
+    a controlled edge budget) and the instance distributions for the
+    property-based tests. *)
+
+val gnp : Prng.t -> int -> float -> Graph.t
+(** Erdős–Rényi G(n,p): each pair independently with probability [p]. *)
+
+val gnm : Prng.t -> int -> int -> Graph.t
+(** Uniform graph with exactly [m] edges. Requires [0 <= m <= C(n,2)]. *)
+
+val tree : Prng.t -> int -> Graph.t
+(** Uniformly random labeled tree via a random Prüfer sequence (n >= 1). *)
+
+val tree_of_pruefer : int -> int array -> Graph.t
+(** Deterministic Prüfer decoding: the sequence must have length
+    [max (n-2) 0] with entries in [\[0, n)]. Bijective with labeled trees;
+    also used by the exhaustive tree census. *)
+
+val connected_gnm : Prng.t -> int -> int -> Graph.t
+(** Uniform-ish connected graph with [m] edges: a uniform spanning tree via
+    random Prüfer sequence plus [m - (n-1)] uniformly chosen extra edges.
+    Requires [m >= n - 1] and [m <= C(n,2)]. Not exactly uniform over
+    connected graphs, but connected by construction — the distribution used
+    for dynamics seeds. *)
+
+val regular : Prng.t -> int -> int -> Graph.t
+(** Random d-regular graph by repeated configuration-model pairing until the
+    pairing is simple. Requires [n*d] even, [d < n]. Expected retries are
+    O(e^{d²}) so keep [d] small (d <= 8 is instant). *)
+
+val preferential_attachment : Prng.t -> int -> int -> Graph.t
+(** Barabási–Albert: start from a [k+1]-clique, then each new vertex
+    attaches to [k] distinct existing vertices chosen by degree. *)
+
+val watts_strogatz : Prng.t -> int -> int -> float -> Graph.t
+(** [watts_strogatz rng n k beta]: ring lattice with [k] neighbors each side,
+    each edge rewired with probability [beta] (self-loops / duplicates
+    skipped). Requires [1 <= k <= (n-1)/2]. *)
+
+val uniform_spanning_tree : Prng.t -> Graph.t -> Graph.t
+(** Wilson's algorithm (loop-erased random walks): an exactly uniform
+    random spanning tree of the connected host graph. On K_n this samples
+    uniformly among all n^(n-2) labeled trees (Cayley), matching {!tree}
+    in distribution. @raise Invalid_argument on disconnected hosts. *)
+
+val spanning_connected_subgraph : Prng.t -> Graph.t -> int -> Graph.t
+(** [spanning_connected_subgraph rng g m] keeps a random spanning tree of
+    the connected graph [g] plus random further edges of [g] up to [m]
+    total. Used to thin dense constructions while preserving
+    connectivity. *)

@@ -1,0 +1,123 @@
+let default_iterations = 3000
+
+(* deterministic pseudo-random start vector, orthogonalization helpers *)
+
+let start_vector n =
+  Array.init n (fun i ->
+      let h = Prng.hash64 (Int64.of_int (i + 1)) in
+      (Int64.to_float (Int64.rem h 1000L) /. 1000.0) +. 0.5)
+
+let dot a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm a = sqrt (dot a a)
+
+let normalize a =
+  let s = norm a in
+  if s > 0.0 then
+    for i = 0 to Array.length a - 1 do
+      a.(i) <- a.(i) /. s
+    done
+
+let project_out a unit_b =
+  (* a <- a - <a,b> b for unit b *)
+  let c = dot a unit_b in
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- a.(i) -. (c *. unit_b.(i))
+  done
+
+let adjacency_matvec g x out =
+  let n = Graph.n g in
+  for v = 0 to n - 1 do
+    out.(v) <- 0.0
+  done;
+  for v = 0 to n - 1 do
+    Graph.iter_neighbors (fun w -> out.(v) <- out.(v) +. x.(w)) g v
+  done
+
+let adjacency_spectral_radius ?(iterations = default_iterations) g =
+  let n = Graph.n g in
+  if n = 0 then 0.0
+  else begin
+    let x = start_vector n in
+    normalize x;
+    let y = Array.make n 0.0 in
+    let lambda = ref 0.0 in
+    for _ = 1 to iterations do
+      adjacency_matvec g x y;
+      lambda := norm y;
+      Array.blit y 0 x 0 n;
+      normalize x
+    done;
+    !lambda
+  end
+
+let algebraic_connectivity ?(iterations = default_iterations) g =
+  let n = Graph.n g in
+  if n <= 1 then 0.0
+  else begin
+    (* power iteration on M = c·I − L, deflating the all-ones eigenvector;
+       the dominant remaining eigenvalue is c − λ₂(L).  c = 2·max_degree
+       dominates every |c − λ| since 0 <= λ <= 2·max_degree. *)
+    let c = 2.0 *. float_of_int (max 1 (Graph.max_degree g)) in
+    let ones = Array.make n (1.0 /. sqrt (float_of_int n)) in
+    let x = start_vector n in
+    project_out x ones;
+    normalize x;
+    let y = Array.make n 0.0 in
+    let mu = ref 0.0 in
+    for _ = 1 to iterations do
+      (* y = (cI − L) x = c x − deg(v) x(v) + Σ_w x(w) *)
+      for v = 0 to n - 1 do
+        y.(v) <- (c -. float_of_int (Graph.degree g v)) *. x.(v)
+      done;
+      for v = 0 to n - 1 do
+        Graph.iter_neighbors (fun w -> y.(v) <- y.(v) +. x.(w)) g v
+      done;
+      project_out y ones;
+      mu := norm y;
+      Array.blit y 0 x 0 n;
+      normalize x
+    done;
+    Float.max 0.0 (c -. !mu)
+  end
+
+let second_adjacency_eigenvalue ?(iterations = default_iterations) g =
+  if not (Graph.is_regular g) then
+    invalid_arg "Spectral.second_adjacency_eigenvalue: graph must be regular";
+  let n = Graph.n g in
+  if n <= 1 then 0.0
+  else begin
+    (* for regular graphs the top adjacency eigenvector is all-ones;
+       deflate and power-iterate — converges to the second-largest
+       |eigenvalue| *)
+    let ones = Array.make n (1.0 /. sqrt (float_of_int n)) in
+    let x = start_vector n in
+    project_out x ones;
+    normalize x;
+    let y = Array.make n 0.0 in
+    let lambda = ref 0.0 in
+    for _ = 1 to iterations do
+      adjacency_matvec g x y;
+      project_out y ones;
+      lambda := norm y;
+      Array.blit y 0 x 0 n;
+      normalize x
+    done;
+    !lambda
+  end
+
+let spectral_diameter_bound g =
+  let n = Graph.n g in
+  if n <= 1 then Some 0.0
+  else if not (Graph.is_regular g) || not (Components.is_connected g) then None
+  else begin
+    let d = float_of_int (Graph.max_degree g) in
+    let lambda = second_adjacency_eigenvalue g in
+    if lambda >= d -. 1e-9 || lambda <= 0.0 then None
+    else Some (Float.ceil (log (float_of_int (n - 1)) /. log (d /. lambda)))
+  end

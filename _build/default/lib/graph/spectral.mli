@@ -1,0 +1,31 @@
+(** Spectral graph quantities via power iteration.
+
+    Expansion is the structural force behind small diameters — and hence
+    behind the paper's conjecture that equilibria are shallow. This module
+    computes the extreme adjacency eigenvalue and the Laplacian spectral
+    gap (algebraic connectivity) with deterministic power/inverse
+    iterations (no LAPACK in the sealed environment), plus the classical
+    spectral diameter bounds they imply. Dense O(n²) vectors; intended for
+    n up to a few thousand. *)
+
+val adjacency_spectral_radius : ?iterations:int -> Graph.t -> float
+(** λ₁ of the adjacency matrix by power iteration (exact on regular
+    graphs: the degree). Deterministic start vector. *)
+
+val algebraic_connectivity : ?iterations:int -> Graph.t -> float
+(** λ₂ of the Laplacian (Fiedler value) by power iteration on
+    [c·I − L] deflated against the all-ones vector. 0 exactly when the
+    graph is disconnected. *)
+
+val spectral_diameter_bound : Graph.t -> float option
+(** Chung's bound for connected d-regular graphs:
+    [diam <= ceil( ln(n−1) / ln(d/λ) ) ] with λ the second-largest
+    adjacency eigenvalue in absolute value; [None] when the graph is not
+    regular, not connected, or the bound degenerates (λ >= d, e.g.
+    bipartite graphs where |λ_min| = d). *)
+
+val second_adjacency_eigenvalue : ?iterations:int -> Graph.t -> float
+(** Second-largest {e absolute} adjacency eigenvalue of a regular graph,
+    by power iteration deflated against the top eigenvector (the all-ones
+    vector for regular graphs).
+    @raise Invalid_argument on non-regular graphs. *)

@@ -1,0 +1,1 @@
+lib/ncg/alpha_game.ml: Array Bfs Float Format Graph Hashtbl Int64 Prng Usage_cost

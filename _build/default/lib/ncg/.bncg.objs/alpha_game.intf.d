@@ -1,0 +1,1 @@
+lib/ncg/alpha_game.mli: Format Graph

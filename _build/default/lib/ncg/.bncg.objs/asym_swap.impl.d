@@ -1,0 +1,1 @@
+lib/ncg/asym_swap.ml: Bfs Equilibrium Graph Hashtbl List Prng Swap Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/asym_swap.mli: Graph Swap

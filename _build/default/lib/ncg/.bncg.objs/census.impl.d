@@ -1,0 +1,1 @@
+lib/ncg/census.ml: Array Canon Enumerate Equilibrium Graph Hashtbl List Metrics Stats Tree_eq Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/census.mli: Graph Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/constructions.ml: Array Generators Graph List Swap

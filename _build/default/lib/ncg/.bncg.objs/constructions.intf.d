@@ -1,0 +1,1 @@
+lib/ncg/constructions.mli: Graph Swap

@@ -1,0 +1,1 @@
+lib/ncg/distance_uniform.ml: Array Bfs Components Float Graph Metrics Power Prng

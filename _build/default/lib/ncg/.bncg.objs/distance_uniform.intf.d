@@ -1,0 +1,1 @@
+lib/ncg/distance_uniform.mli: Graph Prng

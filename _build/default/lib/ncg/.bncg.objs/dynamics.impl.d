@@ -1,0 +1,1 @@
+lib/ncg/dynamics.ml: Array Bfs Components Graph Hashtbl List Logs Metrics Option Prng Swap Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/dynamics.mli: Graph Logs Prng Swap Usage_cost

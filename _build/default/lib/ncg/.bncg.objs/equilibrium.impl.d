@@ -1,0 +1,1 @@
+lib/ncg/equilibrium.ml: Array Bfs Components Format Graph List Metrics Option Prng Swap Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/equilibrium.mli: Format Graph Prng Swap Usage_cost

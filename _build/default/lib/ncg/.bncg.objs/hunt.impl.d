@@ -1,0 +1,1 @@
+lib/ncg/hunt.ml: Array Bfs Components Equilibrium Float Graph Logs Metrics Prng Random_graphs Swap Usage_cost

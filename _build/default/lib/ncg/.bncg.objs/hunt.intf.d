@@ -1,0 +1,1 @@
+lib/ncg/hunt.mli: Graph Logs Prng Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/lemmas.ml: Array Bfs Constructions Graph List Metrics Printf Swap Usage_cost

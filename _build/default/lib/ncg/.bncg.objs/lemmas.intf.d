@@ -1,0 +1,1 @@
+lib/ncg/lemmas.mli: Graph

@@ -1,0 +1,1 @@
+lib/ncg/poa.ml: Alpha_game Enumerate Equilibrium Graph Metrics Option Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/poa.mli: Alpha_game Graph

@@ -1,0 +1,1 @@
+lib/ncg/swap.ml: Array Format Graph Prng Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/swap.mli: Bfs Format Graph Prng Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/theory.ml: Bfs Float Graph List Metrics Usage_cost

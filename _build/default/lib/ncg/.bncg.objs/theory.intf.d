@@ -1,0 +1,1 @@
+lib/ncg/theory.mli: Graph

@@ -1,0 +1,1 @@
+lib/ncg/tree_eq.ml: Array Bfs Components Graph List Swap Usage_cost

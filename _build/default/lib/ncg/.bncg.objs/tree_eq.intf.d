@@ -1,0 +1,1 @@
+lib/ncg/tree_eq.mli: Graph Swap

@@ -1,0 +1,1 @@
+lib/ncg/tree_opt.ml: Array Bfs Components Graph Hashtbl Swap Usage_cost

@@ -1,0 +1,1 @@
+lib/ncg/tree_opt.mli: Graph Swap

@@ -1,0 +1,1 @@
+lib/ncg/usage_cost.ml: Bfs Format Graph

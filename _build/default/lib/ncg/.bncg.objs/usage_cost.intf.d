@@ -1,0 +1,1 @@
+lib/ncg/usage_cost.mli: Bfs Format Graph

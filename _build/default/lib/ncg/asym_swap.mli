@@ -1,0 +1,56 @@
+(** The asymmetric swap game: only an edge's owner may re-point it.
+
+    The paper's swap equilibria let {e either} endpoint swap an edge; the
+    α-game and its descendants attach each edge to the agent who bought it.
+    Dropping the buy/sell moves but keeping ownership yields the asymmetric
+    swap game (studied by Mihalák and Schlegel as the "asymmetric" variant):
+    same parameter-free flavor, strictly fewer deviations per agent.
+    Consequently every symmetric swap equilibrium is an asymmetric one under
+    any ownership, but not conversely — experiment E20 measures how much
+    wider (and deeper in diameter) the asymmetric equilibrium set is. *)
+
+type t
+(** A network plus an owner per edge. *)
+
+type ownership =
+  | Min_endpoint  (** the smaller endpoint owns each edge *)
+  | Random of int  (** seed; each edge's owner is a fair coin *)
+  | By_function of (int -> int -> int)
+      (** [f u v] with [u < v] must return [u] or [v] *)
+
+val create : ownership -> Graph.t -> t
+(** Copies the graph. *)
+
+val graph : t -> Graph.t
+(** The underlying network (do not mutate). *)
+
+val owner : t -> int -> int -> int
+(** Owner of an existing edge. *)
+
+val owned_edges : t -> int -> int list
+(** The far endpoints of the edges the agent owns. *)
+
+val best_move : t -> int -> (Swap.move * int) option
+(** Most-improving owner-swap of one agent under the sum cost, or
+    [None]. *)
+
+val is_equilibrium : t -> bool
+(** No agent can strictly improve its distance sum by re-pointing an edge
+    it owns. Implies nothing about the other endpoint's options. *)
+
+val symmetric_equilibrium_implies_asymmetric : Graph.t -> ownership -> bool
+(** Sanity oracle used by tests: if the bare graph is a (symmetric) sum
+    swap equilibrium then it is an asymmetric equilibrium under the given
+    ownership. Always [true]; evaluates both sides. *)
+
+type result = {
+  state : t;
+  converged : bool;
+  rounds : int;
+  moves : int;
+}
+
+val run_dynamics : ?max_rounds:int -> t -> result
+(** Round-robin best-response over owner-swaps on a copy. Cycle-guarded by
+    the round cap only (owner-swaps preserve the edge count, so states can
+    recur; the cap defaults to 10_000). *)

@@ -1,0 +1,40 @@
+(** Exhaustive classification of small equilibria.
+
+    The paper's tree theorems (1 and 4) and the "all known sum equilibria
+    have diameter <= 3" observation are universally quantified statements
+    over finite ranges; this module checks them against the {e entire}
+    universe of labeled trees / connected graphs in the tractable range,
+    producing the E1/E2/E4 tables. *)
+
+type tree_census = {
+  n : int;
+  total : int;  (** labeled trees examined: n^(n-2) *)
+  equilibria : int;  (** labeled count *)
+  stars : int;  (** labeled stars among them *)
+  double_stars : int;  (** labeled double stars among them (max only) *)
+  max_eq_diameter : int;  (** largest equilibrium diameter seen; 0 if none *)
+  witnesses_verified : int;
+      (** non-equilibrium trees whose proof-witness swap was checked to
+          strictly improve *)
+}
+
+val tree_census : Usage_cost.version -> int -> tree_census
+(** Exhaustive over all labeled trees on [n] vertices
+    (n <= {!Enumerate.max_tree_vertices}). For the sum version every
+    non-star receives the Theorem 1 witness; for max, trees of diameter
+    >= 4 receive the Lemma 2 witness and small-diameter trees run the
+    generic checker. *)
+
+type graph_census = {
+  n : int;
+  connected : int;  (** connected labeled graphs examined *)
+  equilibria_labeled : int;
+  equilibria_iso : Graph.t list;  (** one representative per iso class *)
+  diameter_histogram : (int * int) list;
+      (** equilibrium diameter -> iso-class count *)
+  max_diameter : int;
+}
+
+val graph_census : Usage_cost.version -> int -> graph_census
+(** Exhaustive over all connected labeled graphs on [n] vertices
+    (n <= {!Enumerate.max_graph_vertices}; n = 7 takes minutes). *)

@@ -1,0 +1,208 @@
+let log_src = Logs.Src.create "bncg.dynamics" ~doc:"best-response swap dynamics"
+
+module Log = (val Logs.src_log log_src)
+
+type rule = Best_response | First_improving | Random_improving | Sampled of int
+
+type schedule = Round_robin | Random_agent
+
+type outcome = Converged | Cycled | Round_limit
+
+type config = {
+  version : Usage_cost.version;
+  rule : rule;
+  schedule : schedule;
+  max_rounds : int;
+  allow_deletions : bool;
+  record_trace : bool;
+}
+
+let default_config version =
+  {
+    version;
+    rule = Best_response;
+    schedule = Round_robin;
+    max_rounds = 10_000;
+    allow_deletions = version = Usage_cost.Max;
+    record_trace = false;
+  }
+
+type step = {
+  index : int;
+  move : Swap.move;
+  delta : int;
+  social : int;
+  diameter : int;
+}
+
+type result = {
+  final : Graph.t;
+  outcome : outcome;
+  rounds : int;
+  moves : int;
+  trace : step list;
+}
+
+(* A cost-neutral deletion for the max version: remove an incident edge
+   without hurting the agent's local diameter.  Strictly decreases m, so it
+   can never cycle; it is required to reach deletion-critical states. *)
+let find_neutral_deletion ws version g v =
+  match version with
+  | Usage_cost.Sum -> None
+  | Usage_cost.Max ->
+    let best = ref None in
+    (* snapshot: Swap.delta mutates the adjacency rows *)
+    Array.iter
+      (fun drop ->
+        if !best = None then begin
+          let mv = Swap.Delete { actor = v; drop } in
+          let d = Swap.delta ws version g mv in
+          if d <= 0 then best := Some (mv, d)
+        end)
+      (Graph.neighbors g v);
+    !best
+
+(* bounded agent: examine only [budget] uniformly sampled candidate swaps *)
+let sampled_move rng ws version g v budget =
+  let n = Graph.n g in
+  let neighbors = Graph.neighbors g v in
+  let deg = Array.length neighbors in
+  if deg = 0 || deg >= n - 1 then None
+  else begin
+    let best = ref None in
+    for _ = 1 to budget do
+      let drop = neighbors.(Prng.int rng deg) in
+      let add = Prng.int rng n in
+      if add <> v && add <> drop && not (Array.exists (fun w -> w = add) neighbors)
+      then begin
+        let mv = Swap.Swap { actor = v; drop; add } in
+        let d = Swap.delta ws version g mv in
+        if d < 0 then
+          match !best with
+          | Some (_, bd) when bd <= d -> ()
+          | _ -> best := Some (mv, d)
+      end
+    done;
+    !best
+  end
+
+let pick_move rng ws cfg g v =
+  let deletion =
+    if cfg.allow_deletions then find_neutral_deletion ws cfg.version g v
+    else None
+  in
+  match deletion with
+  | Some _ as d -> d
+  | None -> (
+    match cfg.rule with
+    | Best_response -> Swap.best_move ws cfg.version g v
+    | First_improving -> Swap.first_improving_move ws cfg.version g v
+    | Random_improving -> Swap.random_improving_move rng ws cfg.version g v
+    | Sampled budget -> sampled_move rng ws cfg.version g v budget)
+
+let run ?rng cfg g0 =
+  if not (Components.is_connected g0) then
+    invalid_arg "Dynamics.run: input must be connected";
+  let rng = match rng with Some r -> r | None -> Prng.create 0 in
+  let g = Graph.copy g0 in
+  let n = Graph.n g in
+  let ws = Bfs.create_workspace n in
+  let seen = Hashtbl.create 1024 in
+  Hashtbl.add seen (Graph.hash g) ();
+  let trace = ref [] in
+  let moves = ref 0 in
+  let rounds = ref 0 in
+  let outcome = ref Round_limit in
+  let record mv d =
+    Log.debug (fun m -> m "move %d: %s (delta %d)" !moves (Swap.move_to_string mv) d);
+    if cfg.record_trace then begin
+      let social = Usage_cost.social_cost cfg.version g in
+      let diameter = Option.value (Metrics.diameter g) ~default:(-1) in
+      trace := { index = !moves; move = mv; delta = d; social; diameter } :: !trace
+    end;
+    incr moves
+  in
+  (try
+     while !rounds < cfg.max_rounds do
+       incr rounds;
+       let progressed = ref false in
+       for slot = 0 to n - 1 do
+         let v =
+           match cfg.schedule with
+           | Round_robin -> slot
+           | Random_agent -> Prng.int rng n
+         in
+         match pick_move rng ws cfg g v with
+         | None -> ()
+         | Some (mv, d) ->
+           Swap.apply g mv;
+           progressed := true;
+           record mv d;
+           let h = Graph.hash g in
+           if Hashtbl.mem seen h then begin
+             (* deletions shrink the edge set so only swaps can revisit *)
+             match mv with
+             | Swap.Swap _ ->
+               outcome := Cycled;
+               raise Exit
+             | Swap.Delete _ -> Hashtbl.replace seen h ()
+           end
+           else Hashtbl.add seen h ()
+       done;
+       if not !progressed then begin
+         (* A quiet pass under Random_agent scheduling may just have missed
+            the busy agents; confirm with a full deterministic scan. *)
+         let pending = ref None in
+         let v = ref 0 in
+         while !pending = None && !v < n do
+           pending := pick_move rng ws { cfg with rule = First_improving } g !v;
+           incr v
+         done;
+         match !pending with
+         | None ->
+           outcome := Converged;
+           raise Exit
+         | Some (mv, d) -> (
+           match cfg.rule with
+           | Sampled _ ->
+             (* a bounded agent missed its move this pass; keep sampling
+                under the budget rather than applying the oracle's move *)
+             ()
+           | Best_response | First_improving | Random_improving ->
+             Swap.apply g mv;
+             record mv d;
+             let h = Graph.hash g in
+             if Hashtbl.mem seen h then begin
+               match mv with
+               | Swap.Swap _ ->
+                 outcome := Cycled;
+                 raise Exit
+               | Swap.Delete _ -> Hashtbl.replace seen h ()
+             end
+             else Hashtbl.add seen h ())
+       end
+     done
+   with Exit -> ());
+  Log.info (fun m ->
+      m "%s dynamics: %s after %d rounds, %d moves"
+        (Usage_cost.version_name cfg.version)
+        (match !outcome with
+        | Converged -> "converged"
+        | Cycled -> "cycled"
+        | Round_limit -> "round limit")
+        !rounds !moves);
+  { final = g; outcome = !outcome; rounds = !rounds; moves = !moves; trace = List.rev !trace }
+
+let converge_sum ?rng ?max_rounds g =
+  let cfg = default_config Usage_cost.Sum in
+  let cfg =
+    match max_rounds with None -> cfg | Some max_rounds -> { cfg with max_rounds }
+  in
+  run ?rng cfg g
+
+let converge_max ?rng ?max_rounds g =
+  let cfg = default_config Usage_cost.Max in
+  let cfg =
+    match max_rounds with None -> cfg | Some max_rounds -> { cfg with max_rounds }
+  in
+  run ?rng cfg g

@@ -1,0 +1,246 @@
+type verdict =
+  | Equilibrium
+  | Disconnected
+  | Violation of Swap.move * int
+
+let pp_verdict ppf = function
+  | Equilibrium -> Format.pp_print_string ppf "equilibrium"
+  | Disconnected -> Format.pp_print_string ppf "disconnected"
+  | Violation (mv, d) -> Format.fprintf ppf "violation (%a, delta=%d)" Swap.pp_move mv d
+
+exception Witness of Swap.move * int
+
+let check_sum g =
+  if not (Components.is_connected g) then Disconnected
+  else begin
+    let ws = Bfs.create_workspace (Graph.n g) in
+    try
+      Swap.iter_all_moves g (fun mv ->
+          let d = Swap.delta ws Usage_cost.Sum g mv in
+          if d < 0 then raise (Witness (mv, d)));
+      Equilibrium
+    with Witness (mv, d) -> Violation (mv, d)
+  end
+
+let is_sum_equilibrium g = check_sum g = Equilibrium
+
+let check_max g =
+  if not (Components.is_connected g) then Disconnected
+  else begin
+    let ws = Bfs.create_workspace (Graph.n g) in
+    try
+      Swap.iter_all_moves ~include_deletions:true g (fun mv ->
+          let d = Swap.delta ws Usage_cost.Max g mv in
+          match mv with
+          | Swap.Swap _ -> if d < 0 then raise (Witness (mv, d))
+          | Swap.Delete _ ->
+            (* equilibrium demands deletion *strictly increases* the
+               actor's local diameter *)
+            if d <= 0 then raise (Witness (mv, d)));
+      Equilibrium
+    with Witness (mv, d) -> Violation (mv, d)
+  end
+
+let is_max_equilibrium g = check_max g = Equilibrium
+
+let find_non_critical_deletion g =
+  let ws = Bfs.create_workspace (Graph.n g) in
+  try
+    (* Graph.edges gives a snapshot: the deltas below mutate the graph *)
+    List.iter
+      (fun (u, v) ->
+        let mu = Swap.Delete { actor = u; drop = v } in
+        let du = Swap.delta ws Usage_cost.Max g mu in
+        if du <= 0 then raise (Witness (mu, du));
+        let mv = Swap.Delete { actor = v; drop = u } in
+        let dv = Swap.delta ws Usage_cost.Max g mv in
+        if dv <= 0 then raise (Witness (mv, dv)))
+      (Graph.edges g);
+    None
+  with Witness (mv, d) -> Some (mv, d)
+
+let is_deletion_critical g = find_non_critical_deletion g = None
+
+exception Pair of int * int
+
+let find_insertion_violation g =
+  let n = Graph.n g in
+  let ws = Bfs.create_workspace n in
+  let ecc = Array.make n 0 in
+  for v = 0 to n - 1 do
+    ecc.(v) <- Usage_cost.vertex_cost ws Usage_cost.Max g v
+  done;
+  try
+    List.iter
+      (fun (u, v) ->
+        Graph.add_edge g u v;
+        let eu = Usage_cost.vertex_cost ws Usage_cost.Max g u in
+        let ev = Usage_cost.vertex_cost ws Usage_cost.Max g v in
+        Graph.remove_edge g u v;
+        if eu < ecc.(u) || ev < ecc.(v) then raise (Pair (u, v)))
+      (Graph.complement_edges g);
+    None
+  with Pair (u, v) -> Some (u, v)
+
+let is_insertion_stable g = find_insertion_violation g = None
+
+let is_stable_under_insertions g ~k =
+  if k < 0 then invalid_arg "Equilibrium.is_stable_under_insertions";
+  let n = Graph.n g in
+  let ws = Bfs.create_workspace n in
+  let stable = ref true in
+  let v = ref 0 in
+  while !stable && !v < n do
+    let base = Usage_cost.vertex_cost ws Usage_cost.Max g !v in
+    let candidates =
+      Array.of_list
+        (List.filter
+           (fun w -> w <> !v && not (Graph.mem_edge g !v w))
+           (List.init n (fun i -> i)))
+    in
+    let chosen = Array.make (max k 1) (-1) in
+    (* enumerate all subsets of size 1..k of absent incident edges at v *)
+    let rec go depth lo size =
+      if not !stable then ()
+      else if depth = size then begin
+        for i = 0 to size - 1 do
+          Graph.add_edge g !v candidates.(chosen.(i))
+        done;
+        let after = Usage_cost.vertex_cost ws Usage_cost.Max g !v in
+        for i = size - 1 downto 0 do
+          Graph.remove_edge g !v candidates.(chosen.(i))
+        done;
+        if after < base then stable := false
+      end
+      else
+        for i = lo to Array.length candidates - (size - depth) do
+          if !stable then begin
+            chosen.(depth) <- i;
+            go (depth + 1) (i + 1) size
+          end
+        done
+    in
+    for size = 1 to min k (Array.length candidates) do
+      go 0 0 size
+    done;
+    incr v
+  done;
+  !stable
+
+(* enumerate all size-[size] subsets of [pool] (given as an array),
+   feeding each to [f] as a list; stops early when [f] sets [stop] *)
+let iter_subsets pool size stop f =
+  let m = Array.length pool in
+  let chosen = Array.make (max size 1) 0 in
+  let rec go depth lo =
+    if !stop then ()
+    else if depth = size then begin
+      let subset = ref [] in
+      for i = size - 1 downto 0 do
+        subset := pool.(chosen.(i)) :: !subset
+      done;
+      f !subset
+    end
+    else
+      for i = lo to m - (size - depth) do
+        if not !stop then begin
+          chosen.(depth) <- i;
+          go (depth + 1) (i + 1)
+        end
+      done
+  in
+  if size <= m then go 0 0
+
+let find_k_swap_violation version g ~k =
+  if k < 1 then invalid_arg "Equilibrium.find_k_swap_violation";
+  let n = Graph.n g in
+  let ws = Bfs.create_workspace n in
+  let witness = ref None in
+  let stop = ref false in
+  let v = ref 0 in
+  while (not !stop) && !v < n do
+    let actor = !v in
+    let base = Usage_cost.vertex_cost ws version g actor in
+    let neighbors = Graph.neighbors g actor in
+    let fresh =
+      Array.of_list
+        (List.filter
+           (fun w -> w <> actor && not (Graph.mem_edge g actor w))
+           (List.init n (fun i -> i)))
+    in
+    let jmax = min k (min (Array.length neighbors) (Array.length fresh)) in
+    for j = 1 to jmax do
+      iter_subsets neighbors j stop (fun drops ->
+          iter_subsets fresh j stop (fun adds ->
+              List.iter (fun w -> Graph.remove_edge g actor w) drops;
+              List.iter (fun w -> Graph.add_edge g actor w) adds;
+              let after = Usage_cost.vertex_cost ws version g actor in
+              List.iter (fun w -> Graph.remove_edge g actor w) adds;
+              List.iter (fun w -> Graph.add_edge g actor w) drops;
+              if after < base then begin
+                stop := true;
+                witness := Some (actor, List.combine drops adds)
+              end))
+    done;
+    incr v
+  done;
+  !witness
+
+let is_stable_under_k_swaps version g ~k =
+  find_k_swap_violation version g ~k = None
+
+let k_change_stable_sampled rng g ~k ~trials =
+  if k < 1 then invalid_arg "Equilibrium.k_change_stable_sampled";
+  let n = Graph.n g in
+  let ws = Bfs.create_workspace n in
+  let stable = ref true in
+  let v = ref 0 in
+  while !stable && !v < n do
+    let base = Usage_cost.vertex_cost ws Usage_cost.Max g !v in
+    let nonneighbors =
+      Array.of_list
+        (List.filter
+           (fun w -> w <> !v && not (Graph.mem_edge g !v w))
+           (List.init n (fun i -> i)))
+    in
+    let neigh = Graph.neighbors g !v in
+    let t = ref 0 in
+    while !stable && !t < trials do
+      let j = 1 + Prng.int rng k in
+      let j = min j (min (Array.length neigh) (Array.length nonneighbors)) in
+      if j >= 1 then begin
+        let drop_idx = Prng.sample_distinct rng ~n:(Array.length neigh) ~k:j in
+        let add_idx = Prng.sample_distinct rng ~n:(Array.length nonneighbors) ~k:j in
+        Array.iter (fun i -> Graph.remove_edge g !v neigh.(i)) drop_idx;
+        Array.iter (fun i -> Graph.add_edge g !v nonneighbors.(i)) add_idx;
+        let after = Usage_cost.vertex_cost ws Usage_cost.Max g !v in
+        Array.iter (fun i -> Graph.remove_edge g !v nonneighbors.(i)) add_idx;
+        Array.iter (fun i -> Graph.add_edge g !v neigh.(i)) drop_idx;
+        if after < base then stable := false
+      end;
+      incr t
+    done;
+    incr v
+  done;
+  !stable
+
+let eccentricity_spread g =
+  Metrics.eccentricities g
+  |> Option.map (fun ecc ->
+         let lo = Array.fold_left min ecc.(0) ecc in
+         let hi = Array.fold_left max ecc.(0) ecc in
+         hi - lo)
+
+let lemma3_holds g =
+  let n = Graph.n g in
+  List.for_all
+    (fun v ->
+      let label, count = Components.components_without g v in
+      (* distance-1 test is adjacency to v; a component is "far" if it has
+         a vertex not adjacent to v *)
+      let far = Array.make count false in
+      for w = 0 to n - 1 do
+        if w <> v && not (Graph.mem_edge g v w) then far.(label.(w)) <- true
+      done;
+      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 far <= 1)
+    (Components.cut_vertices g)

@@ -1,0 +1,33 @@
+(** Price-of-anarchy estimators.
+
+    The paper's framing: the price of anarchy of network creation games is
+    within a constant factor of the largest equilibrium diameter (Demaine
+    et al., PODC'07), so diameter ratios are the primary quantity. Cost
+    ratios against edge-count-preserving lower bounds are reported
+    alongside. *)
+
+val diameter_ratio : Graph.t -> float option
+(** Equilibrium diameter divided by the best achievable diameter with the
+    same vertex and edge budget (2 unless the graph is complete, 1 then;
+    for trees the star's 2). [None] when disconnected. *)
+
+val sum_cost_ratio : Graph.t -> float option
+(** Social (sum) cost divided by
+    {!Usage_cost.social_cost_lower_bound} [~n ~m] — an upper bound on the
+    true price-of-anarchy contribution of this equilibrium. *)
+
+val exact_optimum_sum : int -> int -> int option
+(** [exact_optimum_sum n m]: minimum social sum cost over {e all} connected
+    graphs with [n] vertices and [m] edges, by exhaustive enumeration
+    (n <= {!Enumerate.max_graph_vertices}). [None] if no connected graph
+    has that few edges. *)
+
+val exact_sum_poa : int -> int -> float option
+(** [exact_sum_poa n m]: worst social sum cost over all sum equilibria with
+    [n] vertices and [m] edges divided by {!exact_optimum_sum} — the exact
+    price of anarchy of the basic sum game at this size. [None] when no
+    equilibrium with [m] edges exists. Exhaustive; n <= 7. *)
+
+val alpha_poa : Alpha_game.t -> float
+(** Social cost of an α-game state divided by
+    {!Alpha_game.optimal_social_cost}. *)

@@ -1,0 +1,62 @@
+(** Closed forms and constructive checkers for the paper's bounds.
+
+    These are the "paper" columns of every experiment table: each theorem's
+    quantitative content, computed exactly as in the proof so measured
+    values can be compared against them. *)
+
+val lg : int -> float
+(** Base-2 logarithm of an integer (as float); [lg 1 = 0]. *)
+
+(** {1 Theorem 9: sum-equilibrium diameter 2^O(√lg n)} *)
+
+val theorem9_bound : int -> float
+(** The smooth form [2^(c·√lg n)] with the proof-derived constant [c = 3];
+    an upper bound up to the constant in the exponent. *)
+
+val theorem9_recurrence_bound : int -> int
+(** The concrete bound the proof's ball-growth recurrence (inequality (1))
+    yields: start at [k = 2^√lg n], [B_k >= k]; while [B <= n/2] multiply
+    [k] by 4 and [B] by [max 2 (k/(20 lg n))]; the diameter is at most
+    [2k] at exit. Deterministic, no asymptotics — the sharpest number the
+    paper's argument certifies for a given [n]. *)
+
+(** {1 Lemma 10 and Corollary 11} *)
+
+type lemma10_result =
+  | Small_diameter  (** the graph has diameter <= 2 lg n *)
+  | Edge of { x : int; y : int; removal_cost : int }
+      (** an edge [xy] with [d(u,x) <= lg n] whose removal increases the
+          sum of distances from [x] by [removal_cost <= 2n(1 + lg n)] *)
+
+val lemma10_check : Graph.t -> int -> lemma10_result option
+(** [lemma10_check g u] searches for the object Lemma 10 promises in a sum
+    equilibrium graph, from vertex [u]. [None] means the promise failed —
+    on a genuine sum equilibrium this never happens (test oracle). *)
+
+val corollary11_max_gain : Graph.t -> int
+(** Max over ordered non-adjacent pairs (u,v) of the decrease in u's
+    distance sum when edge uv is added. Corollary 11 bounds this by
+    [5 n lg n] on sum equilibria. O(n²·m). *)
+
+val corollary11_budget : int -> float
+(** [5 n lg n]. *)
+
+(** {1 Theorem 12 and the d-dimensional construction} *)
+
+val max_lower_bound_diameter : dim:int -> int -> float
+(** [(n/2)^(1/dim)] — the diameter the Section 4 construction achieves on
+    [n] vertices. *)
+
+(** {1 Theorem 15: Abelian Cayley graphs} *)
+
+val theorem15_bound : n:int -> epsilon:float -> float
+(** The exact bound from the proof: [r <= 1 + 2 lg n / lg((1−ε)/ε)] and
+    diameter at most [2r + 2]. Requires ε in (0, 1/4). *)
+
+(** {1 Theorem 13} *)
+
+val theorem13_diameter_bound : n:int -> epsilon:float -> d:int -> float
+(** The Θ(εd / lg n) diameter of the almost-uniform power graph produced
+    from a diameter-[d] sum equilibrium (the Theorem 13 statement, with
+    the proof's [p = 8/β], β = ε/6 normalization folded in: the power is
+    [x = 2p lg n + 1] and the bound is [⌈d/x⌉]). *)

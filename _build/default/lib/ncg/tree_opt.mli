@@ -1,0 +1,81 @@
+(** Exact O(1)-per-swap evaluation on trees.
+
+    On a tree, dropping the edge actor–drop splits the vertex set into the
+    actor's side and the drop side; re-attaching anywhere on the actor's own
+    side disconnects the graph, and re-attaching to [w'] on the drop side
+    yields a closed-form new distance sum:
+
+      new_sum(actor) = S_actor(own side) + |drop side| + S_{w'}(drop side)
+
+    with both terms expressible through precomputed distance-sum and
+    subtree data. This makes a full best-response scan of all agents O(n²)
+    instead of O(n² · deg · m), which is what lets the tree experiments run
+    at n in the thousands (Theorem 1 at scale). All functions raise
+    [Invalid_argument] on non-trees. *)
+
+type precomp
+(** Distance matrix, per-vertex distance sums, and per-directed-edge side
+    data for one fixed tree. Invalidated by any mutation. *)
+
+val precompute : Graph.t -> precomp
+(** O(n²) time and memory. *)
+
+val sum_cost : precomp -> int -> int
+(** The agent's distance sum (same as [Usage_cost.vertex_cost Sum]). *)
+
+val swap_delta : precomp -> actor:int -> drop:int -> add:int -> int
+(** O(1). Cost change for the actor of replacing edge actor–drop with
+    actor–add. [Usage_cost.infinite] when the swap disconnects (i.e. [add]
+    is on the actor's own side). Requires actor–drop to be an edge and
+    [add] to be neither endpoint nor a current neighbor. *)
+
+val best_swap : precomp -> int -> (Swap.move * int) option
+(** Most-improving swap of one agent, or [None]; O(n · deg). Agrees with
+    [Swap.best_move] on trees (same tie-breaking by enumeration order:
+    neighbors in row order, targets in increasing vertex order). *)
+
+val find_violation : Graph.t -> (Swap.move * int) option
+(** First agent (lowest index) with an improving swap, with its best move;
+    O(n²). *)
+
+val is_sum_equilibrium : Graph.t -> bool
+(** O(n²); agrees with [Equilibrium.is_sum_equilibrium] on trees. *)
+
+val converge : ?max_rounds:int -> Graph.t -> Graph.t * int
+(** Best-response rounds using the fast evaluator, recomputing the O(n²)
+    tables once per applied move. Returns the final tree and the number of
+    moves. By Theorem 1 the result is a star whenever it converges (the
+    round cap, default 10_000 moves, is a safety net). *)
+
+(** {1 Max version}
+
+    The same decomposition works for eccentricities: after re-hanging onto
+    [w'] on the drop side, the actor's local diameter is
+    [max(own-side ecc, 1 + ecc of w' within the drop side)], and a
+    subtree's eccentricities are O(1) queries once its diametral pair is
+    known (in a tree, every restricted eccentricity is attained at an end
+    of a diametral path of that subtree). *)
+
+type max_precomp
+
+val precompute_max : Graph.t -> max_precomp
+(** O(n²) time and memory (distance matrix plus a diametral pair per
+    directed edge). *)
+
+val max_swap_delta : max_precomp -> actor:int -> drop:int -> add:int -> int
+(** O(1). Eccentricity change of the actor; {!Usage_cost.infinite} when
+    the swap disconnects. Same preconditions as {!swap_delta}. *)
+
+val best_max_swap : max_precomp -> int -> (Swap.move * int) option
+(** Most-improving max-swap of one agent; agrees with
+    [Swap.best_move ws Max] on trees. *)
+
+val is_max_equilibrium_tree : Graph.t -> bool
+(** No agent holds an improving eccentricity swap. On trees every deletion
+    disconnects, so this coincides with [Equilibrium.is_max_equilibrium].
+    O(n²). *)
+
+val converge_max : ?max_rounds:int -> Graph.t -> Graph.t * int
+(** Max-version best-response rounds over trees (swaps only — deletions
+    disconnect trees and are never improving). By Theorem 4 the result has
+    diameter <= 3 whenever it converges. *)

@@ -1,0 +1,90 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer: xor-shift multiply mixing of the incremented
+   counter.  Constants from the reference implementation. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let hash64 = mix64
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  let s = Int64.add t.state golden_gamma in
+  t.state <- s;
+  mix64 s
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t bound =
+  assert (bound > 0);
+  if bound land (bound - 1) = 0 then
+    (* power of two: take high-quality low bits of the mixed output *)
+    Int64.to_int (bits64 t) land (bound - 1)
+  else begin
+    (* rejection sampling to avoid modulo bias *)
+    let mask = max_int in
+    let rec loop () =
+      let r = Int64.to_int (bits64 t) land mask in
+      let v = r mod bound in
+      if r - v + (bound - 1) < 0 then loop () else v
+    in
+    loop ()
+  end
+
+let int_in_range t ~lo ~hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.compare (bits64 t) 0L < 0
+
+let bernoulli t p = float t 1.0 < p
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_distinct t ~n ~k =
+  assert (0 <= k && k <= n);
+  if 2 * k >= n then begin
+    (* dense: partial Fisher-Yates over the full range *)
+    let a = Array.init n (fun i -> i) in
+    for i = 0 to k - 1 do
+      let j = int_in_range t ~lo:i ~hi:(n - 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    Array.sub a 0 k
+  end else begin
+    (* sparse: hash-set rejection *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end

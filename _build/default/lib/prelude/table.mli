@@ -1,0 +1,34 @@
+(** Aligned plain-text tables for the experiment harness.
+
+    Every experiment in [bncg_expt] renders one of these; keeping the layout
+    logic here makes the experiment code read like the tables in
+    EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+(** [create ~title ~columns] starts an empty table. Column headers and their
+    alignment are fixed up front; every row must supply one cell per
+    column. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the cell count mismatches the header. *)
+
+val add_rows : t -> string list list -> unit
+
+val render : t -> string
+(** Box-drawn table with the title on top. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+
+val cell_float : ?digits:int -> float -> string
+
+val cell_bool : bool -> string
+(** "yes" / "no". *)

@@ -1,0 +1,24 @@
+(** Disjoint-set forest with union by rank and path halving.
+
+    Used for connectivity checks during random-graph generation and for the
+    component bookkeeping in the exhaustive census. All operations are
+    effectively O(α(n)). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton classes [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two classes; returns [true] iff they were distinct. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of distinct classes. *)
+
+val class_size : t -> int -> int
+(** Size of the class containing the given element. *)

@@ -1,0 +1,58 @@
+(** Growable arrays.
+
+    OCaml 5.1 predates [Stdlib.Dynarray]; this is the small subset the
+    repository needs, specialized for hot loops (no functor indirection,
+    amortized O(1) push, O(1) unordered removal). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty vector. [dummy] fills unused slots and
+    is never observable through the API. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Bounds-checked read. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Bounds-checked write to an existing index. *)
+
+val push : 'a t -> 'a -> unit
+(** Append, growing geometrically when full. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element. @raise Invalid_argument if empty. *)
+
+val swap_remove : 'a t -> int -> 'a
+(** [swap_remove t i] removes index [i] in O(1) by moving the last element
+    into its place, returning the removed value. Order is not preserved. *)
+
+val clear : 'a t -> unit
+(** Logical reset to length 0 (keeps capacity). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val mem : 'a -> 'a t -> bool
+(** Structural-equality membership scan. *)
+
+val find_index : ('a -> bool) -> 'a t -> int option
+
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+
+val of_array : dummy:'a -> 'a array -> 'a t
+
+val copy : 'a t -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort of the live prefix. *)

@@ -1,0 +1,1 @@
+test/test_alpha_game.ml: Alcotest Alpha_game Components Generators Graph List Poa Prng QCheck2 Random_graphs Test_helpers

@@ -1,0 +1,1 @@
+test/test_asym_swap.ml: Alcotest Asym_swap Bfs Components Generators Graph List Prng QCheck2 Random_graphs Swap Test_helpers Usage_cost

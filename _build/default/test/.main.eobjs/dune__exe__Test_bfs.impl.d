@@ -1,0 +1,1 @@
+test/test_bfs.ml: Alcotest Array Bfs Generators Graph Test_helpers

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Hashtbl List Prng Test_helpers

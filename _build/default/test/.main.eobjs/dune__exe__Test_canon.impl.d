@@ -1,0 +1,1 @@
+test/test_canon.ml: Alcotest Array Canon Generators Graph List Prng QCheck2 Test_helpers

@@ -1,0 +1,1 @@
+test/test_cayley.ml: Alcotest Array Canon Cayley Components Constructions Generators Graph List Metrics QCheck2 Test_helpers

@@ -1,0 +1,1 @@
+test/test_census.ml: Census Enumerate Equilibrium List Test_helpers Usage_cost

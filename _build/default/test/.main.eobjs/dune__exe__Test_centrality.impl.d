@@ -1,0 +1,1 @@
+test/test_centrality.ml: Alcotest Array Centrality Dynamics Generators Graph Metrics QCheck2 Test_helpers

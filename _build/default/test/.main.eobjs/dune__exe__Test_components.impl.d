@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Array Components Generators Graph List Test_helpers

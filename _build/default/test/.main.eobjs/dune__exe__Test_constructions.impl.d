@@ -1,0 +1,1 @@
+test/test_constructions.ml: Alcotest Array Bfs Canon Components Constructions Equilibrium Generators Graph List Metrics Printf Swap Test_helpers Usage_cost

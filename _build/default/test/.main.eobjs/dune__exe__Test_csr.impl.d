@@ -1,0 +1,1 @@
+test/test_csr.ml: Alcotest Array Bfs Csr Generators Graph List Test_helpers

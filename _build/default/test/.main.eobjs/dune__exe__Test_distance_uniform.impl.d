@@ -1,0 +1,1 @@
+test/test_distance_uniform.ml: Alcotest Distance_uniform Generators Graph Metrics Option Test_helpers

@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Components Dynamics Equilibrium Generators Graph List Prng Random_graphs Test_helpers Tree_eq Usage_cost

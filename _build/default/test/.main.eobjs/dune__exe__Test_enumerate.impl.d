@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Components Enumerate Generators Graph Hashtbl List Test_helpers

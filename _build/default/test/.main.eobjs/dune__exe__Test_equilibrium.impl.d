@@ -1,0 +1,1 @@
+test/test_equilibrium.ml: Alcotest Array Bfs Components Constructions Dynamics Equilibrium Fun Generators Graph List Metrics Option Polarity Prng Swap Test_helpers Usage_cost

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Filename Fun List String Sys Test_helpers Unix

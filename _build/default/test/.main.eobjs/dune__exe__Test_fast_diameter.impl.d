@@ -1,0 +1,1 @@
+test/test_fast_diameter.ml: Alcotest Constructions Fast_diameter Generators Graph List Metrics Prng Random_graphs Test_helpers

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Components Generators Graph Metrics Test_helpers

@@ -1,0 +1,1 @@
+test/test_generators_extra.ml: Alcotest Array Canon Components Equilibrium Generators Graph Metrics Test_helpers

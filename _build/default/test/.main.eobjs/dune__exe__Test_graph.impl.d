@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Generators Graph List Test_helpers

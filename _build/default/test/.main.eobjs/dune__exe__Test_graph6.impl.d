@@ -1,0 +1,1 @@
+test/test_graph6.ml: Alcotest Canon Constructions Generators Graph Graph6 List QCheck2 String Test_helpers

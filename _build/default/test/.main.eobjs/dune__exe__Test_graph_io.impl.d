@@ -1,0 +1,1 @@
+test/test_graph_io.ml: Alcotest Constructions Generators Graph Graph_io List Printf String Test_helpers

@@ -1,0 +1,1 @@
+test/test_helpers.ml: Alcotest Array Graph List Prng QCheck2 QCheck_alcotest Queue Random_graphs

@@ -1,0 +1,1 @@
+test/test_hunt.ml: Alcotest Canon Constructions Equilibrium Generators Graph Hunt List Metrics Option Prng Test_helpers Usage_cost

@@ -1,0 +1,1 @@
+test/test_invariance.ml: Array Distance_uniform Dynamics Equilibrium Graph Graph6 Graph_io Metrics Prng QCheck2 Test_helpers Usage_cost

@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Constructions Generators Graph Lemmas List Polarity Prng QCheck2 String Test_helpers

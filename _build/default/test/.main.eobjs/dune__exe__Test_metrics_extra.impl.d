@@ -1,0 +1,1 @@
+test/test_metrics_extra.ml: Alcotest Generators Graph Metrics Test_helpers

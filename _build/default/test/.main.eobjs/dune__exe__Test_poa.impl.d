@@ -1,0 +1,1 @@
+test/test_poa.ml: Alcotest Alpha_game Generators Graph Poa Test_helpers Usage_cost

@@ -1,0 +1,1 @@
+test/test_polarity.ml: Alcotest Array Equilibrium Graph List Metrics Polarity Test_helpers

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Generators Graph List Metrics Power Printf Test_helpers

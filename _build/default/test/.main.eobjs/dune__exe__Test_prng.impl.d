@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun Hashtbl Int64 Prng Test_helpers

@@ -1,0 +1,1 @@
+test/test_random_graphs.ml: Alcotest Components Generators Graph Hashtbl List Prng QCheck2 Random_graphs Test_helpers

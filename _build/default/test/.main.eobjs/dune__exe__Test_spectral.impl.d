@@ -1,0 +1,1 @@
+test/test_spectral.ml: Alcotest Components Float Generators Graph List Metrics Option Polarity Spectral Test_helpers

@@ -1,0 +1,1 @@
+test/test_swap.ml: Alcotest Bfs Generators Graph Hashtbl List Prng Swap Test_helpers Usage_cost

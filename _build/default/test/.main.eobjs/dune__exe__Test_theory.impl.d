@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Constructions Dynamics Generators Graph Test_helpers Theory

@@ -1,0 +1,1 @@
+test/test_tree_eq.ml: Alcotest Enumerate Equilibrium Generators Graph Swap Test_helpers Tree_eq

@@ -1,0 +1,1 @@
+test/test_tree_opt.ml: Alcotest Bfs Components Equilibrium Generators Graph Metrics Option Prng Random_graphs Swap Test_helpers Tree_eq Tree_opt Usage_cost

@@ -1,0 +1,1 @@
+test/test_union_find.ml: Array Prng Test_helpers Union_find

@@ -1,0 +1,1 @@
+test/test_usage_cost.ml: Bfs Generators Graph Metrics Test_helpers Usage_cost

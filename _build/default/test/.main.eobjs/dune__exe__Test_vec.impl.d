@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest List Test_helpers Vec

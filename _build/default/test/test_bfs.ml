@@ -1,0 +1,117 @@
+open Test_helpers
+
+let test_path_distances () =
+  let g = Generators.path 6 in
+  let d = Bfs.distances g 0 in
+  Alcotest.(check (array int)) "line distances" [| 0; 1; 2; 3; 4; 5 |] d
+
+let test_cycle_distances () =
+  let g = Generators.cycle 6 in
+  let d = Bfs.distances g 0 in
+  Alcotest.(check (array int)) "cycle distances" [| 0; 1; 2; 3; 2; 1 |] d
+
+let test_disconnected () =
+  let g = Graph.of_edges 4 [ (0, 1) ] in
+  let d = Bfs.distances g 0 in
+  check_int "reachable" 1 d.(1);
+  check_int "unreachable marker" Bfs.unreachable d.(2);
+  let ws = Bfs.create_workspace 4 in
+  let r = Bfs.reach ws g 0 in
+  check_int "reached" 2 r.Bfs.reached
+
+let test_reach_summaries () =
+  let g = Generators.star 5 in
+  let ws = Bfs.create_workspace 5 in
+  let center = Bfs.reach ws g 0 in
+  check_int "center sum" 4 center.Bfs.sum;
+  check_int "center ecc" 1 center.Bfs.ecc;
+  let leaf = Bfs.reach ws g 1 in
+  check_int "leaf sum" (1 + (2 * 3)) leaf.Bfs.sum;
+  check_int "leaf ecc" 2 leaf.Bfs.ecc
+
+let test_workspace_reuse () =
+  let ws = Bfs.create_workspace 10 in
+  let g1 = Generators.path 10 in
+  Bfs.run ws g1 0;
+  check_int "first run" 9 (Bfs.ecc ws);
+  let g2 = Generators.star 10 in
+  Bfs.run ws g2 0;
+  check_int "second run overwrites" 1 (Bfs.ecc ws);
+  check_int "dist valid for current gen" 1 (Bfs.dist ws 5)
+
+let test_workspace_smaller_graph () =
+  (* a workspace sized for 10 must work on a 3-vertex graph *)
+  let ws = Bfs.create_workspace 10 in
+  let g = Generators.path 3 in
+  Bfs.run ws g 2;
+  check_int "dist" 2 (Bfs.dist ws 0)
+
+let test_workspace_too_small () =
+  let ws = Bfs.create_workspace 2 in
+  Alcotest.check_raises "workspace too small"
+    (Invalid_argument "Bfs.run: workspace too small") (fun () ->
+      Bfs.run ws (Generators.path 3) 0)
+
+let test_distances_into () =
+  let ws = Bfs.create_workspace 5 in
+  let out = Array.make 5 (-7) in
+  Bfs.distances_into ws (Generators.path 5) 2 out;
+  Alcotest.(check (array int)) "into buffer" [| 2; 1; 0; 1; 2 |] out
+
+let test_all_pairs_symmetric () =
+  let g = Generators.grid 3 4 in
+  let d = Bfs.all_pairs g in
+  for u = 0 to 11 do
+    check_int "diagonal" 0 d.(u).(u);
+    for v = 0 to 11 do
+      check_int "symmetric" d.(u).(v) d.(v).(u)
+    done
+  done
+
+let test_connected_from () =
+  let ws = Bfs.create_workspace 6 in
+  check_true "cycle connected" (Bfs.connected_from ws (Generators.cycle 6) 0);
+  check_false "two components" (Bfs.connected_from ws (Graph.of_edges 6 [ (0, 1) ]) 0)
+
+let test_against_reference =
+  qcheck ~count:200 "matches textbook BFS" (gen_any_graph ~min_n:1 ~max_n:25) (fun g ->
+      let src = 0 in
+      let fast = Bfs.distances g src in
+      let slow = reference_distances g src in
+      let ok = ref true in
+      for v = 0 to Graph.n g - 1 do
+        let f = if fast.(v) = Bfs.unreachable then -1 else fast.(v) in
+        if f <> slow.(v) then ok := false
+      done;
+      !ok)
+
+let test_triangle_inequality =
+  qcheck ~count:50 "BFS distances obey triangle inequality"
+    (gen_connected ~min_n:3 ~max_n:15) (fun g ->
+      let d = Bfs.all_pairs g in
+      let n = Graph.n g in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            if d.(a).(c) > d.(a).(b) + d.(b).(c) then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    case "path distances" test_path_distances;
+    case "cycle distances" test_cycle_distances;
+    case "disconnected" test_disconnected;
+    case "reach summaries" test_reach_summaries;
+    case "workspace reuse" test_workspace_reuse;
+    case "workspace on smaller graph" test_workspace_smaller_graph;
+    case "workspace too small" test_workspace_too_small;
+    case "distances_into" test_distances_into;
+    case "all_pairs symmetric" test_all_pairs_symmetric;
+    case "connected_from" test_connected_from;
+    test_against_reference;
+    test_triangle_inequality;
+  ]

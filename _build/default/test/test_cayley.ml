@@ -1,0 +1,108 @@
+open Test_helpers
+
+let test_group_order () =
+  check_int "order" 24 (Cayley.order (Cayley.group [ 2; 3; 4 ]));
+  check_int "trivial" 1 (Cayley.order (Cayley.group [ 1 ]))
+
+let test_encode_decode_roundtrip () =
+  let g = Cayley.group [ 3; 4; 5 ] in
+  for r = 0 to Cayley.order g - 1 do
+    check_int "roundtrip" r (Cayley.encode g (Cayley.decode g r))
+  done
+
+let test_encode_normalizes () =
+  let g = Cayley.group [ 5 ] in
+  check_int "mod reduce" (Cayley.encode g [| 2 |]) (Cayley.encode g [| 7 |]);
+  check_int "negative" (Cayley.encode g [| 3 |]) (Cayley.encode g [| -2 |])
+
+let test_add_neg () =
+  let g = Cayley.group [ 4; 6 ] in
+  let a = [| 3; 5 |] and b = [| 2; 2 |] in
+  Alcotest.(check (array int)) "add" [| 1; 1 |] (Cayley.add g a b);
+  Alcotest.(check (array int)) "neg" [| 1; 1 |] (Cayley.neg g a);
+  check_int "a + (-a) = 0" 0 (Cayley.encode g (Cayley.add g a (Cayley.neg g a)))
+
+let test_symmetric () =
+  let g = Cayley.group [ 7 ] in
+  check_true "{1,-1} symmetric" (Cayley.is_symmetric g [ [| 1 |]; [| -1 |] ]);
+  check_false "{1} not symmetric" (Cayley.is_symmetric g [ [| 1 |] ])
+
+let test_cycle_as_cayley () =
+  let g = Cayley.group [ 9 ] in
+  let c = Cayley.cayley g [ [| 1 |]; [| -1 |] ] in
+  check_true "Z9 with {±1} is C9" (Graph.equal c (Generators.cycle 9))
+
+let test_hypercube_as_cayley () =
+  let g = Cayley.group [ 2; 2; 2 ] in
+  let gens = [ [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] ] in
+  let c = Cayley.cayley g gens in
+  check_true "Z2^3 with unit vectors is Q3" (Canon.isomorphic c (Generators.hypercube 3))
+
+let test_torus_grid_as_cayley () =
+  let g = Cayley.group [ 4; 5 ] in
+  let gens = [ [| 1; 0 |]; [| -1; 0 |]; [| 0; 1 |]; [| 0; -1 |] ] in
+  let c = Cayley.cayley g gens in
+  check_int "n" 20 (Graph.n c);
+  check_true "4-regular" (Graph.is_regular c && Graph.max_degree c = 4);
+  check_true "connected" (Components.is_connected c)
+
+let test_rejects_identity () =
+  let g = Cayley.group [ 5 ] in
+  Alcotest.check_raises "identity rejected"
+    (Invalid_argument "Cayley.cayley: identity in connection set") (fun () ->
+      ignore (Cayley.cayley g [ [| 0 |] ]))
+
+let test_rejects_asymmetric () =
+  let g = Cayley.group [ 5 ] in
+  Alcotest.check_raises "asymmetric rejected"
+    (Invalid_argument "Cayley.cayley: connection set not symmetric") (fun () ->
+      ignore (Cayley.cayley g [ [| 1 |] ]))
+
+let test_subgroup_even_sum () =
+  (* the paper's torus subgroup: Z_{2k}^2 even-coordinate-sum elements *)
+  let k = 3 in
+  let g = Cayley.group [ 2 * k; 2 * k ] in
+  let keep t = (t.(0) + t.(1)) mod 2 = 0 in
+  let graph, tuples = Cayley.subgroup_cayley g ~keep (Cayley.paper_torus_generators k) in
+  check_int "n = 2k^2" (2 * k * k) (Graph.n graph);
+  check_true "4-regular" (Graph.is_regular graph && Graph.max_degree graph = 4);
+  Array.iter (fun t -> check_true "members satisfy keep" (keep t)) tuples;
+  (* must be isomorphic to the direct construction *)
+  check_true "matches Constructions.torus"
+    (Graph.n graph = Graph.n (Constructions.torus k)
+    && Graph.m graph = Graph.m (Constructions.torus k)
+    && Metrics.diameter graph = Metrics.diameter (Constructions.torus k))
+
+let test_cayley_vertex_transitive () =
+  (* spot-check: Cayley graphs are vertex-transitive *)
+  let g = Cayley.group [ 10 ] in
+  let c = Cayley.cayley g [ [| 2 |]; [| -2 |]; [| 5 |] ] in
+  check_true "vertex transitive" (Canon.is_vertex_transitive c)
+
+let test_cayley_regular_degree =
+  qcheck ~count:30 "Cayley graph degree = |S| (no involutions collapsing)"
+    QCheck2.Gen.(pair (int_range 5 12) (int_range 1 2)) (fun (n, s) ->
+      let g = Cayley.group [ n ] in
+      let gens =
+        List.concat_map (fun i -> [ [| i |]; [| -i |] ]) (List.init s (fun i -> i + 1))
+      in
+      let c = Cayley.cayley g gens in
+      (* offsets i and n-i distinct because s <= 2 < n/2 *)
+      Graph.is_regular c && Graph.max_degree c = 2 * s)
+
+let suite =
+  [
+    case "group order" test_group_order;
+    case "encode/decode roundtrip" test_encode_decode_roundtrip;
+    case "encode normalizes" test_encode_normalizes;
+    case "add / neg" test_add_neg;
+    case "symmetry check" test_symmetric;
+    case "cycle as Cayley graph" test_cycle_as_cayley;
+    case "hypercube as Cayley graph" test_hypercube_as_cayley;
+    case "torus grid as Cayley graph" test_torus_grid_as_cayley;
+    case "rejects identity generator" test_rejects_identity;
+    case "rejects asymmetric set" test_rejects_asymmetric;
+    case "even-sum subgroup = paper torus" test_subgroup_even_sum;
+    case "vertex transitivity" test_cayley_vertex_transitive;
+    test_cayley_regular_degree;
+  ]

@@ -1,0 +1,68 @@
+open Test_helpers
+
+let test_tree_census_sum_small () =
+  for n = 3 to 7 do
+    let c = Census.tree_census Usage_cost.Sum n in
+    check_int "total = n^(n-2)" (Enumerate.count_trees n) c.Census.total;
+    check_int "equilibria are the n stars" n c.Census.equilibria;
+    check_int "all stars" n c.Census.stars;
+    check_int "diameter 2" 2 c.Census.max_eq_diameter;
+    check_int "every non-star got a witness" (c.Census.total - n) c.Census.witnesses_verified
+  done
+
+let test_tree_census_max_small () =
+  for n = 3 to 7 do
+    let c = Census.tree_census Usage_cost.Max n in
+    check_int "stars counted" n c.Census.stars;
+    check_int "eq = stars + double stars"
+      (c.Census.stars + c.Census.double_stars)
+      c.Census.equilibria;
+    check_true "diameter <= 3" (c.Census.max_eq_diameter <= 3)
+  done;
+  (* diameter 3 first attained at n = 6 (double_star 2 2) *)
+  check_int "n=5 no double stars" 0 (Census.tree_census Usage_cost.Max 5).Census.double_stars;
+  check_int "n=6 diameter 3" 3 (Census.tree_census Usage_cost.Max 6).Census.max_eq_diameter
+
+let test_double_star_count_n6 () =
+  (* labeled double stars with arms (2,2) on 6 vertices: choose the
+     ordered root pair (30) then 3 of 4 remaining leaves for root a...
+     combinatorially C(6,2)*C(4,2)/1 * ... = 15 unordered root pairs x
+     C(4,2)=6 leaf splits / 2 for arm symmetry... the census says 90 *)
+  check_int "n=6 double stars" 90 (Census.tree_census Usage_cost.Max 6).Census.double_stars
+
+let test_graph_census_sum () =
+  let c = Census.graph_census Usage_cost.Sum 4 in
+  check_int "connected count" 38 c.Census.connected;
+  check_int "labeled equilibria" 26 c.Census.equilibria_labeled;
+  check_int "iso classes" 5 (List.length c.Census.equilibria_iso);
+  check_int "max diameter" 2 c.Census.max_diameter;
+  List.iter
+    (fun g -> check_true "each representative verified" (Equilibrium.is_sum_equilibrium g))
+    c.Census.equilibria_iso
+
+let test_graph_census_max () =
+  let c = Census.graph_census Usage_cost.Max 5 in
+  check_int "iso classes" 4 (List.length c.Census.equilibria_iso);
+  List.iter
+    (fun g -> check_true "verified" (Equilibrium.is_max_equilibrium g))
+    c.Census.equilibria_iso
+
+let test_graph_census_max_diameter3_at_6 () =
+  let c = Census.graph_census Usage_cost.Max 6 in
+  check_int "diameter 3 attained" 3 c.Census.max_diameter
+
+let test_histogram_consistent () =
+  let c = Census.graph_census Usage_cost.Sum 5 in
+  let total = List.fold_left (fun acc (_, k) -> acc + k) 0 c.Census.diameter_histogram in
+  check_int "histogram covers all classes" (List.length c.Census.equilibria_iso) total
+
+let suite =
+  [
+    case "tree census sum (n <= 7)" test_tree_census_sum_small;
+    case "tree census max (n <= 7)" test_tree_census_max_small;
+    case "double star count n=6" test_double_star_count_n6;
+    case "graph census sum n=4" test_graph_census_sum;
+    case "graph census max n=5" test_graph_census_max;
+    slow_case "graph census max n=6 diameter 3" test_graph_census_max_diameter3_at_6;
+    case "histogram consistency" test_histogram_consistent;
+  ]

@@ -1,0 +1,115 @@
+open Test_helpers
+
+let test_is_connected () =
+  check_true "empty" (Components.is_connected (Graph.create 0));
+  check_true "singleton" (Components.is_connected (Graph.create 1));
+  check_false "two isolated" (Components.is_connected (Graph.create 2));
+  check_true "path" (Components.is_connected (Generators.path 5));
+  check_false "split" (Components.is_connected (Graph.of_edges 4 [ (0, 1); (2, 3) ]))
+
+let test_components () =
+  let g = Graph.of_edges 5 [ (0, 1); (2, 3) ] in
+  let label, count = Components.components g in
+  check_int "count" 3 count;
+  check_int "0 and 1 together" label.(0) label.(1);
+  check_int "2 and 3 together" label.(2) label.(3);
+  check_false "0 and 2 apart" (label.(0) = label.(2));
+  check_false "4 isolated" (label.(4) = label.(0) || label.(4) = label.(2))
+
+let test_component_of () =
+  let g = Graph.of_edges 5 [ (0, 1); (2, 3) ] in
+  Alcotest.(check (list int)) "component" [ 0; 1 ] (Components.component_of g 1);
+  Alcotest.(check (list int)) "isolated" [ 4 ] (Components.component_of g 4)
+
+let test_cut_vertices_path () =
+  Alcotest.(check (list int)) "path interior" [ 1; 2; 3 ]
+    (Components.cut_vertices (Generators.path 5))
+
+let test_cut_vertices_cycle () =
+  Alcotest.(check (list int)) "cycle has none" [] (Components.cut_vertices (Generators.cycle 5))
+
+let test_cut_vertices_star () =
+  Alcotest.(check (list int)) "star center" [ 0 ] (Components.cut_vertices (Generators.star 5))
+
+let test_cut_vertices_lollipop () =
+  (* clique of 4 + path of 3: the clique-path junction and path interior *)
+  let g = Generators.lollipop 4 3 in
+  Alcotest.(check (list int)) "junction and path" [ 3; 4; 5 ] (Components.cut_vertices g)
+
+let test_bridges () =
+  Alcotest.(check (list (pair int int)))
+    "path bridges all" [ (0, 1); (1, 2); (2, 3) ]
+    (Components.bridges (Generators.path 4));
+  Alcotest.(check (list (pair int int))) "cycle none" [] (Components.bridges (Generators.cycle 4));
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4) ] in
+  Alcotest.(check (list (pair int int))) "triangle with tail" [ (2, 3); (3, 4) ]
+    (Components.bridges g)
+
+let test_is_tree_forest () =
+  check_true "path is tree" (Components.is_tree (Generators.path 5));
+  check_true "star is tree" (Components.is_tree (Generators.star 5));
+  check_false "cycle not tree" (Components.is_tree (Generators.cycle 5));
+  check_false "forest not tree" (Components.is_tree (Graph.of_edges 4 [ (0, 1); (2, 3) ]));
+  check_true "forest is forest" (Components.is_forest (Graph.of_edges 4 [ (0, 1); (2, 3) ]));
+  check_false "cycle not forest" (Components.is_forest (Generators.cycle 3))
+
+let test_components_without () =
+  let g = Generators.star 5 in
+  let label, count = Components.components_without g 0 in
+  check_int "removing star center isolates leaves" 4 count;
+  check_int "removed vertex labeled -1" (-1) label.(0)
+
+let test_bridge_endpoints_are_cut_or_leaves =
+  qcheck ~count:80 "bridge endpoint of degree >= 2 is a cut vertex"
+    (gen_connected ~min_n:3 ~max_n:20) (fun g ->
+      let cuts = Components.cut_vertices g in
+      List.for_all
+        (fun (u, v) ->
+          (Graph.degree g u < 2 || List.mem u cuts)
+          && (Graph.degree g v < 2 || List.mem v cuts))
+        (Components.bridges g))
+
+let test_cut_vertex_by_definition =
+  qcheck ~count:60 "cut vertices = vertices whose removal disconnects"
+    (gen_connected ~min_n:3 ~max_n:14) (fun g ->
+      let n = Graph.n g in
+      let cuts = Components.cut_vertices g in
+      let naive =
+        List.filter
+          (fun v ->
+            let _, count = Components.components_without g v in
+            count > 1)
+          (List.init n (fun i -> i))
+      in
+      cuts = naive)
+
+let test_bridge_by_definition =
+  qcheck ~count:60 "bridges = edges whose removal disconnects"
+    (gen_connected ~min_n:2 ~max_n:14) (fun g ->
+      let bridges = Components.bridges g in
+      let naive =
+        List.filter
+          (fun (u, v) ->
+            let h = Graph.copy g in
+            Graph.remove_edge h u v;
+            not (Components.is_connected h))
+          (Graph.edges g)
+      in
+      bridges = naive)
+
+let suite =
+  [
+    case "is_connected" test_is_connected;
+    case "components" test_components;
+    case "component_of" test_component_of;
+    case "cut vertices: path" test_cut_vertices_path;
+    case "cut vertices: cycle" test_cut_vertices_cycle;
+    case "cut vertices: star" test_cut_vertices_star;
+    case "cut vertices: lollipop" test_cut_vertices_lollipop;
+    case "bridges" test_bridges;
+    case "is_tree / is_forest" test_is_tree_forest;
+    case "components_without" test_components_without;
+    test_bridge_endpoints_are_cut_or_leaves;
+    test_cut_vertex_by_definition;
+    test_bridge_by_definition;
+  ]

@@ -1,0 +1,72 @@
+open Test_helpers
+
+let test_roundtrip () =
+  let g = Generators.grid 3 3 in
+  let c = Csr.of_graph g in
+  check_int "n" (Graph.n g) (Csr.n c);
+  check_int "m" (Graph.m g) (Csr.m c);
+  check_true "roundtrip equal" (Graph.equal g (Csr.to_graph c))
+
+let test_degrees_match () =
+  let g = Generators.star 7 in
+  let c = Csr.of_graph g in
+  for v = 0 to 6 do
+    check_int "degree" (Graph.degree g v) (Csr.degree c v)
+  done
+
+let test_mem_edge () =
+  let g = Graph.of_edges 5 [ (0, 1); (0, 4); (2, 3) ] in
+  let c = Csr.of_graph g in
+  check_true "present" (Csr.mem_edge c 0 4);
+  check_true "symmetric" (Csr.mem_edge c 4 0);
+  check_false "absent" (Csr.mem_edge c 1 2);
+  check_false "empty row" (Csr.mem_edge c 2 2)
+
+let test_iter_neighbors_sorted () =
+  let g = Graph.of_edges 5 [ (2, 4); (2, 0); (2, 3) ] in
+  let c = Csr.of_graph g in
+  let acc = ref [] in
+  Csr.iter_neighbors (fun w -> acc := w :: !acc) c 2;
+  Alcotest.(check (list int)) "sorted row" [ 0; 3; 4 ] (List.rev !acc)
+
+let test_bfs_matches_graph_bfs =
+  qcheck ~count:100 "CSR BFS = Graph BFS" (gen_any_graph ~min_n:1 ~max_n:25) (fun g ->
+      let c = Csr.of_graph g in
+      let n = Graph.n g in
+      let dist = Array.make n (-1) and queue = Array.make n 0 in
+      let reached = Csr.bfs_into c 0 ~dist ~queue in
+      let reference = Bfs.distances g 0 in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let r = if reference.(v) = Bfs.unreachable then -1 else reference.(v) in
+        if dist.(v) <> r then ok := false
+      done;
+      let ref_reached =
+        Array.fold_left
+          (fun acc d -> if d <> Bfs.unreachable then acc + 1 else acc)
+          0 reference
+      in
+      !ok && reached = ref_reached)
+
+let test_all_pairs_matches =
+  qcheck ~count:30 "CSR all_pairs = Bfs.all_pairs" (gen_connected ~min_n:2 ~max_n:15)
+    (fun g ->
+      let a = Csr.all_pairs (Csr.of_graph g) in
+      let b = Bfs.all_pairs g in
+      let ok = ref true in
+      for u = 0 to Graph.n g - 1 do
+        for v = 0 to Graph.n g - 1 do
+          if a.(u).(v) <> b.(u).(v) then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    case "roundtrip" test_roundtrip;
+    case "degrees" test_degrees_match;
+    case "mem_edge binary search" test_mem_edge;
+    case "neighbors sorted" test_iter_neighbors_sorted;
+    test_bfs_matches_graph_bfs;
+    test_all_pairs_matches;
+  ]

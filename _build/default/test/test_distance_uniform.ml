@@ -1,0 +1,114 @@
+open Test_helpers
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_complete_graph_uniform () =
+  let g = Generators.complete 8 in
+  let p = Distance_uniform.best_uniform g in
+  check_int "r = 1" 1 p.Distance_uniform.r;
+  check_float "eps = 1/8" (1.0 /. 8.0) p.Distance_uniform.epsilon
+
+let test_cycle_not_uniform () =
+  let g = Generators.cycle 20 in
+  let p = Distance_uniform.best_uniform g in
+  (* every sphere has exactly 2 vertices except the antipode: eps = 1 - 2/20 *)
+  check_float "eps" (1.0 -. (2.0 /. 20.0)) p.Distance_uniform.epsilon
+
+let test_even_cycle_antipode () =
+  (* C6: sphere sizes 2,2,1 — the best exact radius still captures only 2 *)
+  let g = Generators.cycle 6 in
+  check_float "eps at r=1" (1.0 -. (2.0 /. 6.0)) (Distance_uniform.epsilon_at g ~r:1);
+  check_float "eps at antipode" (1.0 -. (1.0 /. 6.0)) (Distance_uniform.epsilon_at g ~r:3)
+
+let test_almost_beats_exact () =
+  let g = Generators.cycle 11 in
+  let e = Distance_uniform.best_uniform g in
+  let a = Distance_uniform.best_almost_uniform g in
+  check_true "almost-uniform eps <= exact eps"
+    (a.Distance_uniform.epsilon <= e.Distance_uniform.epsilon)
+
+let test_is_uniform_thresholds () =
+  let g = Generators.complete 10 in
+  check_true "complete is 0.1-uniform" (Distance_uniform.is_distance_uniform g ~epsilon:0.1);
+  check_false "cycle is not 0.1-uniform"
+    (Distance_uniform.is_distance_uniform (Generators.cycle 16) ~epsilon:0.1)
+
+let test_star_uniformity () =
+  (* star: leaves see n-2 vertices at distance 2; center sees all at 1;
+     so exact uniformity at r=2 fails only at the center *)
+  let g = Generators.star 10 in
+  let eps2 = Distance_uniform.epsilon_at g ~r:2 in
+  (* center has zero vertices at distance 2 -> eps = 1 *)
+  check_float "center ruins r=2" 1.0 eps2
+
+let test_requires_connected () =
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Distance_uniform: graph must be connected") (fun () ->
+      ignore (Distance_uniform.best_uniform (Graph.create 3)))
+
+let test_pairwise_modal () =
+  let g = Generators.complete 6 in
+  let mode, frac = Distance_uniform.pairwise_modal_fraction g in
+  check_int "mode" 1 mode;
+  check_float "all pairs adjacent" 1.0 frac
+
+let test_pairwise_vs_pervertex_gap () =
+  (* the Section 5 non-example: pairwise concentration high, per-vertex poor *)
+  let g = Generators.path_with_blobs ~arms:6 ~arm_len:8 ~blob:24 in
+  let _, frac = Distance_uniform.pairwise_modal_fraction g in
+  let p = Distance_uniform.best_almost_uniform g in
+  check_true "pairwise concentrated" (frac > 0.4);
+  check_true "per-vertex not uniform" (p.Distance_uniform.epsilon > 0.9)
+
+let test_power_report () =
+  let g = Generators.cycle 24 in
+  let rep = Distance_uniform.power_report g ~x:3 in
+  check_int "x recorded" 3 rep.Distance_uniform.x;
+  check_int "diameter of power" 4 rep.Distance_uniform.diameter
+
+let test_theorem13_power_choice () =
+  let g = Generators.cycle 40 in
+  let x = Distance_uniform.theorem13_power g in
+  check_true "capped at diameter" (x <= 20);
+  check_true "at least 1" (x >= 1);
+  (* a diameter-2 graph gets x <= 2 *)
+  check_true "small graphs small power"
+    (Distance_uniform.theorem13_power (Generators.star 20) <= 2)
+
+let test_skew_exact_small () =
+  (* diameter-1 graph: d(a,c) = 1 <= p lg n + d(a,b) always -> no skew *)
+  check_float "complete has no skew triples" 0.0
+    (Distance_uniform.skew_triple_fraction (Generators.complete 8) ~p:0.5)
+
+let test_skew_path () =
+  (* long path with tiny p: triples with d(a,c) >> d(a,b) exist *)
+  let f = Distance_uniform.skew_triple_fraction (Generators.path 20) ~p:0.1 in
+  check_true "skew triples exist" (f > 0.0)
+
+let test_epsilon_bounds =
+  qcheck ~count:40 "epsilon in [0,1], r within diameter" (gen_connected ~min_n:2 ~max_n:16)
+    (fun g ->
+      let p = Distance_uniform.best_uniform g in
+      let d = Option.get (Metrics.diameter g) in
+      p.Distance_uniform.epsilon >= 0.0
+      && p.Distance_uniform.epsilon <= 1.0
+      && p.Distance_uniform.r >= 1
+      && p.Distance_uniform.r <= max d 1)
+
+let suite =
+  [
+    case "complete graph" test_complete_graph_uniform;
+    case "cycle" test_cycle_not_uniform;
+    case "even cycle antipode" test_even_cycle_antipode;
+    case "almost <= exact" test_almost_beats_exact;
+    case "threshold predicates" test_is_uniform_thresholds;
+    case "star uniformity" test_star_uniformity;
+    case "requires connectivity" test_requires_connected;
+    case "pairwise modal" test_pairwise_modal;
+    case "pairwise vs per-vertex gap" test_pairwise_vs_pervertex_gap;
+    case "power report" test_power_report;
+    case "theorem13 power choice" test_theorem13_power_choice;
+    case "skew: complete graph" test_skew_exact_small;
+    case "skew: path" test_skew_path;
+    test_epsilon_bounds;
+  ]

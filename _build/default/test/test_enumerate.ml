@@ -1,0 +1,93 @@
+open Test_helpers
+
+let test_counts_all_graphs () =
+  let count n =
+    let c = ref 0 in
+    Enumerate.all_graphs n (fun _ -> incr c);
+    !c
+  in
+  check_int "n=0" 1 (count 0);
+  check_int "n=1" 1 (count 1);
+  check_int "n=2" 2 (count 2);
+  check_int "n=3" 8 (count 3);
+  check_int "n=4" 64 (count 4)
+
+let test_counts_connected () =
+  (* A001187: connected labeled graphs *)
+  check_int "n=1" 1 (Enumerate.count_connected_graphs 1);
+  check_int "n=2" 1 (Enumerate.count_connected_graphs 2);
+  check_int "n=3" 4 (Enumerate.count_connected_graphs 3);
+  check_int "n=4" 38 (Enumerate.count_connected_graphs 4);
+  check_int "n=5" 728 (Enumerate.count_connected_graphs 5)
+
+let test_connected_really_connected () =
+  Enumerate.connected_graphs 5 (fun g ->
+      check_true "connected" (Components.is_connected g))
+
+let test_tree_counts () =
+  (* Cayley's formula n^(n-2) *)
+  check_int "n=1" 1 (Enumerate.count_trees 1);
+  check_int "n=2" 1 (Enumerate.count_trees 2);
+  check_int "n=3" 3 (Enumerate.count_trees 3);
+  check_int "n=4" 16 (Enumerate.count_trees 4);
+  check_int "n=5" 125 (Enumerate.count_trees 5);
+  let seen = ref 0 in
+  Enumerate.trees 5 (fun g ->
+      incr seen;
+      check_true "is tree" (Components.is_tree g));
+  check_int "enumerated count matches" 125 !seen
+
+let test_trees_distinct () =
+  let seen = Hashtbl.create 64 in
+  Enumerate.trees 5 (fun g -> Hashtbl.replace seen (Graph.edges g) ());
+  check_int "all distinct" 125 (Hashtbl.length seen)
+
+let test_trees_small () =
+  let count n =
+    let c = ref 0 in
+    Enumerate.trees n (fun _ -> incr c);
+    !c
+  in
+  check_int "n=1" 1 (count 1);
+  check_int "n=2" 1 (count 2)
+
+let test_caps () =
+  Alcotest.check_raises "graph cap" (Invalid_argument "Enumerate.connected_graphs")
+    (fun () -> Enumerate.connected_graphs 9 ignore);
+  Alcotest.check_raises "tree cap" (Invalid_argument "Enumerate.trees") (fun () ->
+      Enumerate.trees 11 ignore)
+
+let test_edge_subsets () =
+  let g = Generators.cycle 5 in
+  let count size =
+    let c = ref 0 in
+    Enumerate.edge_subsets_of g ~size (fun subset ->
+        check_int "subset size" size (List.length subset);
+        incr c);
+    !c
+  in
+  check_int "C(5,0)" 1 (count 0);
+  check_int "C(5,1)" 5 (count 1);
+  check_int "C(5,2)" 10 (count 2);
+  check_int "C(5,5)" 1 (count 5);
+  check_int "size > m gives none" 0 (count 6)
+
+let test_edge_subsets_distinct () =
+  let g = Generators.complete 4 in
+  let seen = Hashtbl.create 32 in
+  Enumerate.edge_subsets_of g ~size:2 (fun subset ->
+      Hashtbl.replace seen (List.sort compare subset) ());
+  check_int "C(6,2) distinct" 15 (Hashtbl.length seen)
+
+let suite =
+  [
+    case "all graph counts" test_counts_all_graphs;
+    case "connected counts (A001187)" test_counts_connected;
+    case "connected graphs are connected" test_connected_really_connected;
+    case "tree counts (Cayley)" test_tree_counts;
+    case "trees distinct" test_trees_distinct;
+    case "tiny trees" test_trees_small;
+    case "caps enforced" test_caps;
+    case "edge subsets" test_edge_subsets;
+    case "edge subsets distinct" test_edge_subsets_distinct;
+  ]

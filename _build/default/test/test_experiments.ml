@@ -1,0 +1,59 @@
+open Test_helpers
+
+let capture f =
+  (* run an experiment with stdout redirected to a buffer file *)
+  let tmp = Filename.temp_file "bncg_expt" ".txt" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close fd)
+    f;
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  s
+
+let test_registry_complete () =
+  check_true "at least 14 experiments" (List.length Experiments.all >= 14);
+  List.iter
+    (fun e ->
+      check_true "id well-formed"
+        (String.length e.Experiments.id >= 2 && e.Experiments.id.[0] = 'E'))
+    Experiments.all
+
+let test_find () =
+  (match Experiments.find "e5" with
+  | Some e -> check_true "case-insensitive lookup" (e.Experiments.id = "E5")
+  | None -> Alcotest.fail "E5 must exist");
+  check_true "unknown id" (Experiments.find "E99" = None)
+
+let test_light_experiments_produce_tables () =
+  (* the fast experiments must emit a table and not raise *)
+  List.iter
+    (fun id ->
+      match Experiments.find id with
+      | Some e ->
+        let out = capture e.Experiments.run in
+        check_true (id ^ " prints a table")
+          (String.length out > 100
+          &&
+          let has_rule = ref false in
+          String.iter (fun c -> if c = '+' then has_rule := true) out;
+          !has_rule)
+      | None -> Alcotest.fail (id ^ " missing"))
+    [ "E3"; "E6"; "E12"; "E14" ]
+
+let suite =
+  [
+    case "registry complete" test_registry_complete;
+    case "find by id" test_find;
+    slow_case "light experiments run" test_light_experiments_produce_tables;
+  ]

@@ -1,0 +1,69 @@
+open Test_helpers
+
+let check_opt_int = Alcotest.(check (option int))
+
+let test_families () =
+  List.iter
+    (fun g -> check_opt_int "matches Metrics.diameter" (Metrics.diameter g) (Fast_diameter.diameter g))
+    [
+      Generators.path 17;
+      Generators.cycle 12;
+      Generators.star 9;
+      Generators.complete 7;
+      Generators.petersen ();
+      Generators.hypercube 5;
+      Constructions.torus 5;
+      Constructions.sum_diameter3_minimal;
+      Generators.lollipop 5 7;
+      Generators.path_with_blobs ~arms:3 ~arm_len:5 ~blob:4;
+    ]
+
+let test_trivial () =
+  check_opt_int "K1" (Some 0) (Fast_diameter.diameter (Graph.create 1));
+  check_opt_int "empty" None (Fast_diameter.diameter (Graph.create 0));
+  check_opt_int "disconnected" None (Fast_diameter.diameter (Graph.create 3))
+
+let test_lower_bound_is_lower () =
+  List.iter
+    (fun g ->
+      match Fast_diameter.double_sweep_lower_bound g, Metrics.diameter g with
+      | Some lb, Some d -> check_true "lb <= diameter" (lb <= d)
+      | None, None -> ()
+      | _ -> Alcotest.fail "connectivity disagreement")
+    [ Generators.cycle 13; Constructions.torus 4; Generators.lollipop 4 6 ]
+
+let test_sweep_tight_on_trees () =
+  (* the double sweep is exact on trees *)
+  let rng = Prng.create 9 in
+  for _ = 1 to 20 do
+    let g = Random_graphs.tree rng 30 in
+    check_opt_int "tree sweep exact" (Metrics.diameter g)
+      (Fast_diameter.double_sweep_lower_bound g)
+  done
+
+let test_stats_savings () =
+  (* on a long path iFUB needs only a handful of BFS runs *)
+  match Fast_diameter.diameter_with_stats (Generators.path 200) with
+  | Some s ->
+    check_int "diameter" 199 s.Fast_diameter.diameter;
+    check_true "few BFS runs" (s.Fast_diameter.bfs_runs < 20)
+  | None -> Alcotest.fail "connected"
+
+let test_matches_naive_random =
+  qcheck ~count:150 "iFUB = naive on random graphs" (gen_any_graph ~min_n:1 ~max_n:25)
+    (fun g -> Fast_diameter.diameter g = Metrics.diameter g)
+
+let test_matches_naive_connected =
+  qcheck ~count:100 "iFUB = naive on connected graphs" (gen_connected ~min_n:2 ~max_n:30)
+    (fun g -> Fast_diameter.diameter g = Metrics.diameter g)
+
+let suite =
+  [
+    case "families" test_families;
+    case "trivial graphs" test_trivial;
+    case "sweep is a lower bound" test_lower_bound_is_lower;
+    case "sweep exact on trees" test_sweep_tight_on_trees;
+    case "BFS savings on paths" test_stats_savings;
+    test_matches_naive_random;
+    test_matches_naive_connected;
+  ]

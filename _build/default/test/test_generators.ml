@@ -1,0 +1,142 @@
+open Test_helpers
+
+let test_path () =
+  let g = Generators.path 5 in
+  check_int "m" 4 (Graph.m g);
+  check_true "connected" (Components.is_connected g);
+  check_int "endpoint degree" 1 (Graph.degree g 0);
+  check_int "interior degree" 2 (Graph.degree g 2)
+
+let test_cycle () =
+  let g = Generators.cycle 5 in
+  check_int "m" 5 (Graph.m g);
+  check_true "2-regular" (Graph.is_regular g && Graph.max_degree g = 2);
+  Alcotest.check_raises "needs n >= 3" (Invalid_argument "Generators.cycle: need n >= 3")
+    (fun () -> ignore (Generators.cycle 2))
+
+let test_star () =
+  let g = Generators.star 6 in
+  check_int "m" 5 (Graph.m g);
+  check_int "center" 5 (Graph.degree g 0);
+  check_true "is tree" (Components.is_tree g)
+
+let test_double_star () =
+  let g = Generators.double_star 3 2 in
+  check_int "n" 7 (Graph.n g);
+  check_int "m" 6 (Graph.m g);
+  check_true "roots adjacent" (Graph.mem_edge g 0 1);
+  check_int "root0 degree" 4 (Graph.degree g 0);
+  check_int "root1 degree" 3 (Graph.degree g 1);
+  check_true "is tree" (Components.is_tree g);
+  Alcotest.(check (option int)) "diameter 3" (Some 3) (Metrics.diameter g)
+
+let test_complete () =
+  let g = Generators.complete 6 in
+  check_int "m" 15 (Graph.m g);
+  check_true "regular" (Graph.is_regular g)
+
+let test_complete_bipartite () =
+  let g = Generators.complete_bipartite 3 4 in
+  check_int "m" 12 (Graph.m g);
+  check_int "left degree" 4 (Graph.degree g 0);
+  check_int "right degree" 3 (Graph.degree g 3);
+  check_false "no intra-part edges" (Graph.mem_edge g 0 1)
+
+let test_grid () =
+  let g = Generators.grid 3 4 in
+  check_int "n" 12 (Graph.n g);
+  check_int "m" ((2 * 4) + (3 * 3)) (Graph.m g);
+  Alcotest.(check (option int)) "diameter" (Some 5) (Metrics.diameter g)
+
+let test_torus_grid () =
+  let g = Generators.torus_grid 4 4 in
+  check_int "m" 32 (Graph.m g);
+  check_true "4-regular" (Graph.is_regular g && Graph.max_degree g = 4);
+  Alcotest.(check (option int)) "diameter" (Some 4) (Metrics.diameter g)
+
+let test_hypercube () =
+  let g = Generators.hypercube 4 in
+  check_int "n" 16 (Graph.n g);
+  check_int "m" 32 (Graph.m g);
+  check_true "4-regular" (Graph.is_regular g);
+  Alcotest.(check (option int)) "diameter = dim" (Some 4) (Metrics.diameter g);
+  check_int "Q0 is a point" 1 (Graph.n (Generators.hypercube 0))
+
+let test_circulant () =
+  let g = Generators.circulant 8 [ 1; 2 ] in
+  check_int "m" 16 (Graph.m g);
+  check_true "4-regular" (Graph.is_regular g && Graph.max_degree g = 4);
+  (* offset n/2 gives a perfect matching, degree contribution 1 *)
+  let h = Generators.circulant 6 [ 3 ] in
+  check_int "antipodal matching" 3 (Graph.m h);
+  Alcotest.check_raises "offset range"
+    (Invalid_argument "Generators.circulant: offset out of [1, n/2]") (fun () ->
+      ignore (Generators.circulant 6 [ 4 ]))
+
+let test_circulant_is_cycle () =
+  check_true "circulant(n;1) = cycle"
+    (Graph.equal (Generators.circulant 7 [ 1 ]) (Generators.cycle 7))
+
+let test_sunlet () =
+  let g = Generators.sunlet 5 in
+  check_int "n" 10 (Graph.n g);
+  check_int "m" 10 (Graph.m g);
+  Alcotest.(check (option int)) "diameter" (Some 4) (Metrics.diameter g);
+  (* cycle vertices have degree 3, pendants degree 1 *)
+  check_int "cycle degree" 3 (Graph.degree g 0);
+  check_int "pendant degree" 1 (Graph.degree g 5);
+  check_true "pendant attached to its cycle vertex" (Graph.mem_edge g 2 7);
+  Alcotest.check_raises "n >= 3" (Invalid_argument "Generators.sunlet: need n >= 3")
+    (fun () -> ignore (Generators.sunlet 2))
+
+let test_petersen () =
+  let g = Generators.petersen () in
+  check_int "n" 10 (Graph.n g);
+  check_int "m" 15 (Graph.m g);
+  check_true "3-regular" (Graph.is_regular g && Graph.max_degree g = 3);
+  Alcotest.(check (option int)) "diameter 2" (Some 2) (Metrics.diameter g);
+  Alcotest.(check (option int)) "girth 5" (Some 5) (Metrics.girth g)
+
+let test_attach_pendant () =
+  let g = Generators.attach_pendant (Generators.cycle 4) 2 in
+  check_int "n" 5 (Graph.n g);
+  check_int "pendant degree" 1 (Graph.degree g 4);
+  check_true "attached to 2" (Graph.mem_edge g 2 4)
+
+let test_lollipop () =
+  let g = Generators.lollipop 4 3 in
+  check_int "n" 7 (Graph.n g);
+  check_int "m" (6 + 3) (Graph.m g);
+  Alcotest.(check (option int)) "diameter" (Some 4) (Metrics.diameter g)
+
+let test_path_with_blobs () =
+  let g = Generators.path_with_blobs ~arms:3 ~arm_len:2 ~blob:4 in
+  check_int "n" (1 + (3 * 6)) (Graph.n g);
+  check_true "connected" (Components.is_connected g);
+  (* hub to blob tip: arm_len, plus 1 into the blob; diameter spans two arms *)
+  Alcotest.(check (option int)) "diameter" (Some 6) (Metrics.diameter g)
+
+let test_empty () =
+  let g = Generators.empty 4 in
+  check_int "no edges" 0 (Graph.m g)
+
+let suite =
+  [
+    case "path" test_path;
+    case "cycle" test_cycle;
+    case "star" test_star;
+    case "double star" test_double_star;
+    case "complete" test_complete;
+    case "complete bipartite" test_complete_bipartite;
+    case "grid" test_grid;
+    case "torus grid" test_torus_grid;
+    case "hypercube" test_hypercube;
+    case "circulant" test_circulant;
+    case "circulant(1) = cycle" test_circulant_is_cycle;
+    case "sunlet" test_sunlet;
+    case "petersen" test_petersen;
+    case "attach pendant" test_attach_pendant;
+    case "lollipop" test_lollipop;
+    case "path with blobs" test_path_with_blobs;
+    case "empty" test_empty;
+  ]

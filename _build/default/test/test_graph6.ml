@@ -1,0 +1,68 @@
+open Test_helpers
+
+let test_known_encodings () =
+  (* hand-computed reference strings for the format *)
+  check_true "K1" (Graph6.encode (Generators.complete 1) = "@");
+  (* empty graph on 2 vertices: header 'A', one all-zero bit group '?' *)
+  check_true "empty2" (Graph6.encode (Graph.create 2) = "A?");
+  (* K2: single bit set -> group 100000 = 32 -> '_' *)
+  check_true "K2" (Graph6.encode (Generators.complete 2) = "A_");
+  (* C5 labeled 0-1-2-3-4-0: bits 101001 100100 -> 'h' 'c' *)
+  check_true "C5" (Graph6.encode (Generators.cycle 5) = "Dhc");
+  (* nauty's documented C5 string decodes to an isomorphic relabeling *)
+  check_true "DqK is C5 relabeled"
+    (Canon.isomorphic (Graph6.decode "DqK") (Generators.cycle 5))
+
+let test_roundtrip_families () =
+  List.iter
+    (fun g ->
+      let decoded = Graph6.decode (Graph6.encode g) in
+      check_true "roundtrip" (Graph.equal g decoded))
+    [
+      Graph.create 0;
+      Graph.create 1;
+      Generators.path 7;
+      Generators.cycle 9;
+      Generators.star 12;
+      Generators.complete 8;
+      Generators.petersen ();
+      Generators.hypercube 4;
+      Constructions.theorem5_graph;
+    ]
+
+let test_large_n_header () =
+  (* n = 100 > 62 exercises the extended header *)
+  let g = Generators.cycle 100 in
+  let s = Graph6.encode g in
+  check_true "tilde header" (s.[0] = '~');
+  check_true "roundtrip" (Graph.equal g (Graph6.decode s))
+
+let test_decode_rejects_garbage () =
+  Alcotest.check_raises "empty" (Invalid_argument "Graph6.decode: empty") (fun () ->
+      ignore (Graph6.decode ""));
+  Alcotest.check_raises "truncated" (Invalid_argument "Graph6.decode: wrong length")
+    (fun () -> ignore (Graph6.decode "D"));
+  Alcotest.check_raises "bad byte" (Invalid_argument "Graph6.decode: bad byte")
+    (fun () -> ignore (Graph6.decode "\x01"))
+
+let test_roundtrip_random =
+  qcheck ~count:200 "random roundtrip" (gen_any_graph ~min_n:0 ~max_n:30) (fun g ->
+      Graph.equal g (Graph6.decode (Graph6.encode g)))
+
+let test_encoding_is_injective =
+  qcheck ~count:100 "distinct graphs get distinct strings"
+    QCheck2.Gen.(pair (gen_any_graph ~min_n:3 ~max_n:12) (gen_any_graph ~min_n:3 ~max_n:12))
+    (fun (a, b) ->
+      if Graph.n a = Graph.n b && not (Graph.equal a b) then
+        Graph6.encode a <> Graph6.encode b
+      else true)
+
+let suite =
+  [
+    case "known encodings" test_known_encodings;
+    case "roundtrip families" test_roundtrip_families;
+    case "extended header (n > 62)" test_large_n_header;
+    case "decode rejects garbage" test_decode_rejects_garbage;
+    test_roundtrip_random;
+    test_encoding_is_injective;
+  ]

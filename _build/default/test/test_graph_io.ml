@@ -1,0 +1,56 @@
+open Test_helpers
+
+let test_dot_shape () =
+  let dot = Graph_io.to_dot ~name:"demo" (Generators.path 3) in
+  check_true "header" (String.length dot > 0);
+  let lines = String.split_on_char '\n' dot |> List.filter (fun l -> l <> "") in
+  Alcotest.(check (list string)) "content"
+    [ "graph demo {"; "  0 -- 1;"; "  1 -- 2;"; "}" ]
+    lines
+
+let test_dot_isolated_and_labels () =
+  let g = Graph.create 2 in
+  let dot = Graph_io.to_dot ~label:(fun v -> Printf.sprintf "agent%d" v) g in
+  check_true "isolated vertices listed"
+    (String.length dot > 0
+    && List.exists
+         (fun l -> l = "  \"agent0\";")
+         (String.split_on_char '\n' dot))
+
+let test_edge_list_roundtrip () =
+  List.iter
+    (fun g -> check_true "roundtrip" (Graph.equal g (Graph_io.of_edge_list (Graph_io.to_edge_list g))))
+    [
+      Graph.create 0;
+      Graph.create 4;
+      Generators.petersen ();
+      Constructions.theorem5_graph;
+      Generators.star 10;
+    ]
+
+let test_edge_list_comments_and_blanks () =
+  let g = Graph_io.of_edge_list "# a comment\n3 2\n\n0 1\n# another\n1 2\n" in
+  check_true "parsed" (Graph.equal g (Generators.path 3))
+
+let test_edge_list_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Graph_io.of_edge_list: empty input")
+    (fun () -> ignore (Graph_io.of_edge_list "  \n \n"));
+  Alcotest.check_raises "count mismatch"
+    (Invalid_argument "Graph_io.of_edge_list: edge count mismatch with header")
+    (fun () -> ignore (Graph_io.of_edge_list "3 2\n0 1\n"));
+  Alcotest.check_raises "bad line" (Invalid_argument "Graph_io.of_edge_list: bad line 0 x")
+    (fun () -> ignore (Graph_io.of_edge_list "2 1\n0 x\n"))
+
+let test_roundtrip_random =
+  qcheck ~count:100 "edge list roundtrip (random)" (gen_any_graph ~min_n:0 ~max_n:20)
+    (fun g -> Graph.equal g (Graph_io.of_edge_list (Graph_io.to_edge_list g)))
+
+let suite =
+  [
+    case "dot shape" test_dot_shape;
+    case "dot isolated + labels" test_dot_isolated_and_labels;
+    case "edge list roundtrip" test_edge_list_roundtrip;
+    case "comments and blanks" test_edge_list_comments_and_blanks;
+    case "rejections" test_edge_list_rejects;
+    test_roundtrip_random;
+  ]

@@ -1,0 +1,96 @@
+open Test_helpers
+
+let holds = function None -> true | Some _ -> false
+
+let test_lemma6_families () =
+  List.iter
+    (fun g -> check_true "lemma 6" (holds (Lemmas.check_lemma6 g)))
+    [
+      Generators.star 8;
+      Generators.petersen ();
+      Constructions.theorem5_graph;
+      Polarity.polarity_graph 3;
+      Generators.cycle 5;
+      Constructions.sum_diameter3_minimal;
+    ]
+
+let test_lemma7_families () =
+  List.iter
+    (fun g -> check_true "lemma 7" (holds (Lemmas.check_lemma7 g)))
+    [
+      Constructions.theorem5_graph;
+      Constructions.sum_diameter3_witness;
+      Generators.hypercube 3;
+      Generators.double_star 3 3;
+    ]
+
+let test_lemma8_families () =
+  List.iter
+    (fun g -> check_true "lemma 8" (holds (Lemmas.check_lemma8 g)))
+    [
+      Constructions.theorem5_graph;
+      Generators.hypercube 4;
+      Generators.complete_bipartite 3 4;
+      Generators.cycle 8;
+      Generators.petersen ();
+    ]
+
+let test_lemma8_vacuous_on_triangles () =
+  (* girth 3 graphs: hypothesis unmet, checker reports no violation *)
+  check_true "complete graph vacuous" (holds (Lemmas.check_lemma8 (Generators.complete 5)));
+  check_true "polarity vacuous" (holds (Lemmas.check_lemma8 (Polarity.polarity_graph 3)))
+
+let test_case_analysis_isolates_the_flaw () =
+  let cases = Lemmas.theorem5_case_analysis () in
+  check_int "five cases" 5 (List.length cases);
+  List.iter
+    (fun (name, ok) ->
+      let is_partner_case =
+        String.length name >= 10
+        && String.sub name 0 10 = "collectors"
+        && String.length name > 40
+        &&
+        let contains_sub s sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        contains_sub name "MATCHED PARTNER"
+      in
+      if is_partner_case then check_false (name ^ " fails") ok
+      else check_true (name ^ " holds") ok)
+    cases
+
+let test_lemma6_random =
+  qcheck ~count:40 "lemma 6 on random connected graphs" (gen_connected ~min_n:3 ~max_n:12)
+    (fun g -> holds (Lemmas.check_lemma6 g))
+
+let test_lemma7_random =
+  qcheck ~count:30 "lemma 7 on random connected graphs" (gen_connected ~min_n:3 ~max_n:11)
+    (fun g -> holds (Lemmas.check_lemma7 g))
+
+let test_lemma8_random =
+  qcheck ~count:30 "lemma 8 on random triangle-free graphs"
+    QCheck2.Gen.(pair (int_range 4 12) (int_range 0 10_000)) (fun (n, seed) ->
+      (* random bipartite => triangle-free with girth >= 4 *)
+      let rng = Prng.create seed in
+      let a = max 2 (n / 2) in
+      let g = Graph.create n in
+      for u = 0 to a - 1 do
+        for v = a to n - 1 do
+          if Prng.bernoulli rng 0.5 then Graph.add_edge g u v
+        done
+      done;
+      holds (Lemmas.check_lemma8 g))
+
+let suite =
+  [
+    case "lemma 6 families" test_lemma6_families;
+    case "lemma 7 families" test_lemma7_families;
+    case "lemma 8 families" test_lemma8_families;
+    case "lemma 8 vacuous on triangles" test_lemma8_vacuous_on_triangles;
+    case "case analysis isolates the flaw" test_case_analysis_isolates_the_flaw;
+    test_lemma6_random;
+    test_lemma7_random;
+    test_lemma8_random;
+  ]

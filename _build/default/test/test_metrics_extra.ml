@@ -1,0 +1,89 @@
+open Test_helpers
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_triangle_counts () =
+  check_int "K4" 4 (Metrics.triangle_count (Generators.complete 4));
+  check_int "K5" 10 (Metrics.triangle_count (Generators.complete 5));
+  check_int "K6" 20 (Metrics.triangle_count (Generators.complete 6));
+  check_int "tree" 0 (Metrics.triangle_count (Generators.star 8));
+  check_int "C5" 0 (Metrics.triangle_count (Generators.cycle 5));
+  check_int "petersen (girth 5)" 0 (Metrics.triangle_count (Generators.petersen ()));
+  check_int "friendship(3)" 3 (Metrics.triangle_count (Generators.friendship 3));
+  check_int "wheel(5)" 5 (Metrics.triangle_count (Generators.wheel 5));
+  (* wheel(3) = K4 *)
+  check_int "wheel(3) = K4" 4 (Metrics.triangle_count (Generators.wheel 3))
+
+let test_local_clustering () =
+  check_float "complete" 1.0 (Metrics.local_clustering (Generators.complete 5) 0);
+  check_float "star center" 0.0 (Metrics.local_clustering (Generators.star 5) 0);
+  check_float "leaf (degree 1)" 0.0 (Metrics.local_clustering (Generators.star 5) 1);
+  (* friendship hub: k triangles over C(2k,2) pairs *)
+  let g = Generators.friendship 3 in
+  check_float "friendship hub" (3.0 /. 15.0) (Metrics.local_clustering g 0);
+  check_float "friendship outer" 1.0 (Metrics.local_clustering g 1)
+
+let test_average_and_global_clustering () =
+  check_float "complete avg" 1.0 (Metrics.average_clustering (Generators.complete 6));
+  check_float "complete global" 1.0 (Metrics.global_clustering (Generators.complete 6));
+  check_float "bipartite global" 0.0 (Metrics.global_clustering (Generators.complete_bipartite 3 4));
+  check_float "empty" 0.0 (Metrics.average_clustering (Graph.create 0));
+  (* hand check on the paw graph: triangle 0-1-2 plus pendant 3 on 0.
+     wedges: deg 3,2,2,1 -> 3+1+1+0 = 5; one triangle -> 3/5 *)
+  let paw = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 0); (0, 3) ] in
+  check_float "paw global" 0.6 (Metrics.global_clustering paw);
+  check_float "paw average" ((1.0 /. 3.0 +. 1.0 +. 1.0 +. 0.0) /. 4.0)
+    (Metrics.average_clustering paw)
+
+let test_assortativity () =
+  (* regular graphs are degenerate *)
+  check_true "cycle degenerate" (Metrics.degree_assortativity (Generators.cycle 8) = None);
+  check_true "no edges" (Metrics.degree_assortativity (Graph.create 4) = None);
+  (* stars are perfectly disassortative *)
+  (match Metrics.degree_assortativity (Generators.star 8) with
+  | Some r -> check_float "star r = -1" (-1.0) r
+  | None -> Alcotest.fail "star has degree variance");
+  (* a graph with positive assortativity: two K3s joined by an edge...
+     check it is at least defined and in [-1, 1] *)
+  match Metrics.degree_assortativity (Generators.barbell 3 1) with
+  | Some r -> check_true "in range" (r >= -1.0 && r <= 1.0)
+  | None -> Alcotest.fail "defined"
+
+let test_triangles_match_wedge_identity =
+  qcheck ~count:60 "global clustering in [0,1]" (gen_any_graph ~min_n:1 ~max_n:15)
+    (fun g ->
+      let c = Metrics.global_clustering g in
+      c >= 0.0 && c <= 1.0 +. 1e-9)
+
+let test_triangle_count_brute_force =
+  qcheck ~count:60 "triangle count = brute force" (gen_any_graph ~min_n:3 ~max_n:14)
+    (fun g ->
+      let n = Graph.n g in
+      let brute = ref 0 in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          for c = b + 1 to n - 1 do
+            if Graph.mem_edge g a b && Graph.mem_edge g b c && Graph.mem_edge g a c
+            then incr brute
+          done
+        done
+      done;
+      Metrics.triangle_count g = !brute)
+
+let test_assortativity_range =
+  qcheck ~count:60 "assortativity in [-1, 1]" (gen_connected ~min_n:2 ~max_n:15)
+    (fun g ->
+      match Metrics.degree_assortativity g with
+      | Some r -> r >= -1.0 -. 1e-9 && r <= 1.0 +. 1e-9
+      | None -> true)
+
+let suite =
+  [
+    case "triangle counts" test_triangle_counts;
+    case "local clustering" test_local_clustering;
+    case "average / global clustering" test_average_and_global_clustering;
+    case "assortativity" test_assortativity;
+    test_triangles_match_wedge_identity;
+    test_triangle_count_brute_force;
+    test_assortativity_range;
+  ]

@@ -1,0 +1,76 @@
+open Test_helpers
+
+let test_power_one_identity () =
+  let g = Generators.petersen () in
+  check_true "G^1 = G" (Graph.equal (Power.power g 1) g)
+
+let test_cycle_squared () =
+  let p = Power.power (Generators.cycle 8) 2 in
+  check_true "C8^2 = circulant(8;1,2)" (Graph.equal p (Generators.circulant 8 [ 1; 2 ]))
+
+let test_path_power_diameter () =
+  let g = Generators.path 13 in
+  List.iter
+    (fun x ->
+      let p = Power.power g x in
+      Alcotest.(check (option int))
+        (Printf.sprintf "diam(P13^%d)" x)
+        (Some ((12 + x - 1) / x))
+        (Metrics.diameter p))
+    [ 1; 2; 3; 4; 6 ]
+
+let test_power_beyond_diameter_complete () =
+  let g = Generators.cycle 7 in
+  let p = Power.power g 3 in
+  check_true "C7^3 complete" (Graph.equal p (Generators.complete 7))
+
+let test_power_disconnected () =
+  let g = Graph.of_edges 4 [ (0, 1); (2, 3) ] in
+  let p = Power.power g 5 in
+  check_int "components preserved" 2 (Graph.m p);
+  check_false "no cross edges" (Graph.mem_edge p 0 2)
+
+let test_power_within_oracle () =
+  let g = Generators.cycle 10 in
+  let within = Power.power_within g 3 in
+  let p = Power.power g 3 in
+  for u = 0 to 9 do
+    for v = 0 to 9 do
+      if u <> v then check_bool "oracle matches built graph" (Graph.mem_edge p u v) (within u v)
+    done
+  done;
+  check_false "no self edges" (within 4 4)
+
+let test_power_invalid () =
+  Alcotest.check_raises "x >= 1" (Invalid_argument "Power.power: need x >= 1")
+    (fun () -> ignore (Power.power (Generators.path 3) 0))
+
+let test_power_diameter_formula =
+  qcheck ~count:40 "diam(G^x) = ceil(diam(G)/x)" (gen_connected ~min_n:2 ~max_n:15)
+    (fun g ->
+      match Metrics.diameter g with
+      | None -> false
+      | Some d ->
+        let x = 1 + (d mod 3) in
+        (match Metrics.diameter (Power.power g x) with
+        | Some dp -> dp = (d + x - 1) / x
+        | None -> false))
+
+let test_power_monotone =
+  qcheck ~count:40 "edges of G^x contained in G^(x+1)" (gen_connected ~min_n:2 ~max_n:12)
+    (fun g ->
+      let p2 = Power.power g 2 and p3 = Power.power g 3 in
+      List.for_all (fun (u, v) -> Graph.mem_edge p3 u v) (Graph.edges p2))
+
+let suite =
+  [
+    case "G^1 = G" test_power_one_identity;
+    case "C8 squared" test_cycle_squared;
+    case "path power diameters" test_path_power_diameter;
+    case "power beyond diameter is complete" test_power_beyond_diameter_complete;
+    case "disconnected input" test_power_disconnected;
+    case "power_within oracle" test_power_within_oracle;
+    case "invalid exponent" test_power_invalid;
+    test_power_diameter_formula;
+    test_power_monotone;
+  ]

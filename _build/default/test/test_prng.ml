@@ -1,0 +1,150 @@
+open Test_helpers
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  check_false "different seeds differ" (Prng.bits64 a = Prng.bits64 b)
+
+let test_int_bounds () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    check_true "in range" (v >= 0 && v < 17)
+  done
+
+let test_int_power_of_two () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 16 in
+    check_true "in range" (v >= 0 && v < 16)
+  done
+
+let test_int_coverage () =
+  (* every residue of a small bound appears over many draws *)
+  let rng = Prng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    seen.(Prng.int rng 5) <- true
+  done;
+  check_true "all residues hit" (Array.for_all Fun.id seen)
+
+let test_int_in_range () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 1_000 do
+    let v = Prng.int_in_range rng ~lo:(-5) ~hi:5 in
+    check_true "inclusive range" (v >= -5 && v <= 5)
+  done
+
+let test_float_bounds () =
+  let rng = Prng.create 13 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float rng 2.5 in
+    check_true "in [0, 2.5)" (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_mean () =
+  let rng = Prng.create 17 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_true "mean near 1/2" (abs_float (mean -. 0.5) < 0.01)
+
+let test_bool_balance () =
+  let rng = Prng.create 19 in
+  let trues = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Prng.bool rng then incr trues
+  done;
+  let frac = float_of_int !trues /. float_of_int n in
+  check_true "balanced coin" (abs_float (frac -. 0.5) < 0.01)
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create 23 in
+  for _ = 1 to 100 do
+    check_false "p=0 never true" (Prng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    check_true "p=1 always true" (Prng.bernoulli rng 1.0)
+  done
+
+let test_copy_independent () =
+  let a = Prng.create 5 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_differs () =
+  let a = Prng.create 5 in
+  let b = Prng.split a in
+  check_false "split stream differs" (Prng.bits64 a = Prng.bits64 b)
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 29 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_sample_distinct () =
+  let rng = Prng.create 31 in
+  for _ = 1 to 100 do
+    let k = Prng.int rng 20 in
+    let s = Prng.sample_distinct rng ~n:20 ~k in
+    check_int "size" k (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    let distinct = ref true in
+    for i = 1 to k - 1 do
+      if sorted.(i) = sorted.(i - 1) then distinct := false
+    done;
+    check_true "distinct" !distinct;
+    Array.iter (fun v -> check_true "in range" (v >= 0 && v < 20)) s
+  done
+
+let test_sample_distinct_full () =
+  let rng = Prng.create 37 in
+  let s = Prng.sample_distinct rng ~n:8 ~k:8 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "full sample is a permutation"
+    (Array.init 8 (fun i -> i))
+    sorted
+
+let test_hash64_injective_sample () =
+  (* no collisions on a small structured sample *)
+  let seen = Hashtbl.create 1024 in
+  for i = 0 to 10_000 do
+    let h = Prng.hash64 (Int64.of_int i) in
+    check_false "no collision" (Hashtbl.mem seen h);
+    Hashtbl.add seen h ()
+  done
+
+let suite =
+  [
+    case "determinism" test_determinism;
+    case "seed sensitivity" test_seed_sensitivity;
+    case "int bounds" test_int_bounds;
+    case "int bounds (power of two)" test_int_power_of_two;
+    case "int coverage" test_int_coverage;
+    case "int_in_range inclusive" test_int_in_range;
+    case "float bounds" test_float_bounds;
+    case "float mean" test_float_mean;
+    case "bool balance" test_bool_balance;
+    case "bernoulli extremes" test_bernoulli_extremes;
+    case "copy independence" test_copy_independent;
+    case "split differs" test_split_differs;
+    case "shuffle is a permutation" test_shuffle_permutation;
+    case "sample_distinct" test_sample_distinct;
+    case "sample_distinct full" test_sample_distinct_full;
+    case "hash64 collision-free sample" test_hash64_injective_sample;
+  ]

@@ -1,0 +1,184 @@
+open Test_helpers
+
+let test_gnp_extremes () =
+  let rng = Prng.create 1 in
+  let empty = Random_graphs.gnp rng 10 0.0 in
+  check_int "p=0 empty" 0 (Graph.m empty);
+  let full = Random_graphs.gnp rng 10 1.0 in
+  check_int "p=1 complete" 45 (Graph.m full)
+
+let test_gnp_density () =
+  let rng = Prng.create 2 in
+  let total = ref 0 in
+  let trials = 50 in
+  for _ = 1 to trials do
+    total := !total + Graph.m (Random_graphs.gnp rng 20 0.3)
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  let expected = 0.3 *. 190.0 in
+  check_true "density near p*C(n,2)" (abs_float (mean -. expected) < 8.0)
+
+let test_gnm_exact () =
+  let rng = Prng.create 3 in
+  for m = 0 to 21 do
+    let g = Random_graphs.gnm rng 7 m in
+    check_int "exact edge count" m (Graph.m g)
+  done;
+  Alcotest.check_raises "too many" (Invalid_argument "Random_graphs.gnm: bad m")
+    (fun () -> ignore (Random_graphs.gnm rng 4 7))
+
+let test_gnm_complete () =
+  let rng = Prng.create 4 in
+  let g = Random_graphs.gnm rng 6 15 in
+  check_true "m = C(n,2) gives complete" (Graph.equal g (Generators.complete 6))
+
+let test_tree () =
+  let rng = Prng.create 5 in
+  for n = 1 to 30 do
+    let g = Random_graphs.tree rng n in
+    check_true "is tree" (Components.is_tree g)
+  done
+
+let test_tree_distribution_hits_star_and_path () =
+  (* over many 4-vertex trees both shapes (path, star) must appear *)
+  let rng = Prng.create 6 in
+  let saw_star = ref false and saw_path = ref false in
+  for _ = 1 to 200 do
+    let g = Random_graphs.tree rng 4 in
+    if Graph.max_degree g = 3 then saw_star := true;
+    if Graph.max_degree g = 2 then saw_path := true
+  done;
+  check_true "star seen" !saw_star;
+  check_true "path seen" !saw_path
+
+let test_pruefer_bijection_n4 () =
+  (* all 16 sequences give 16 distinct trees (Cayley's formula) *)
+  let seen = Hashtbl.create 16 in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      let g = Random_graphs.tree_of_pruefer 4 [| a; b |] in
+      check_true "is tree" (Components.is_tree g);
+      Hashtbl.replace seen (Graph.edges g) ()
+    done
+  done;
+  check_int "16 distinct labeled trees" 16 (Hashtbl.length seen)
+
+let test_pruefer_star () =
+  (* constant sequence [c; c; ...] decodes to the star centered at c *)
+  let g = Random_graphs.tree_of_pruefer 6 [| 2; 2; 2; 2 |] in
+  check_int "center degree" 5 (Graph.degree g 2)
+
+let test_connected_gnm () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 30 do
+    let n = 5 + Prng.int rng 20 in
+    let extra = Prng.int rng n in
+    let m = min (n * (n - 1) / 2) (n - 1 + extra) in
+    let g = Random_graphs.connected_gnm rng n m in
+    check_true "connected" (Components.is_connected g);
+    check_int "edge count" m (Graph.m g)
+  done
+
+let test_regular () =
+  let rng = Prng.create 8 in
+  List.iter
+    (fun (n, d) ->
+      let g = Random_graphs.regular rng n d in
+      check_true "regular" (Graph.is_regular g);
+      check_int "degree" d (Graph.max_degree g))
+    [ (10, 3); (12, 4); (9, 2); (8, 0) ];
+  Alcotest.check_raises "odd nd" (Invalid_argument "Random_graphs.regular: nd odd")
+    (fun () -> ignore (Random_graphs.regular rng 5 3))
+
+let test_preferential_attachment () =
+  let rng = Prng.create 9 in
+  let g = Random_graphs.preferential_attachment rng 50 2 in
+  check_true "connected" (Components.is_connected g);
+  (* m = clique C(3,2) + 2 per additional vertex *)
+  check_int "edge count" (3 + (2 * 47)) (Graph.m g)
+
+let test_watts_strogatz () =
+  let rng = Prng.create 10 in
+  let g0 = Random_graphs.watts_strogatz rng 20 2 0.0 in
+  check_true "beta=0 is ring lattice"
+    (Graph.equal g0 (Generators.circulant 20 [ 1; 2 ]));
+  let g = Random_graphs.watts_strogatz rng 20 2 0.5 in
+  check_int "m preserved" 40 (Graph.m g)
+
+let test_uniform_spanning_tree () =
+  let rng = Prng.create 12 in
+  let host = Generators.petersen () in
+  for _ = 1 to 30 do
+    let t = Random_graphs.uniform_spanning_tree rng host in
+    check_true "is a tree" (Components.is_tree t);
+    Graph.iter_edges (fun u v -> check_true "subgraph of host" (Graph.mem_edge host u v)) t
+  done;
+  Alcotest.check_raises "disconnected host"
+    (Invalid_argument "Random_graphs.uniform_spanning_tree: host disconnected")
+    (fun () -> ignore (Random_graphs.uniform_spanning_tree rng (Graph.create 3)))
+
+let test_uniform_spanning_tree_uniformity () =
+  (* K4 has 16 labeled spanning trees; with 8000 samples each should land
+     near 500 (binomial sd ~22, allow 5 sd) *)
+  let rng = Prng.create 13 in
+  let host = Generators.complete 4 in
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to 8000 do
+    let t = Random_graphs.uniform_spanning_tree rng host in
+    let key = Graph.edges t in
+    Hashtbl.replace counts key (1 + (try Hashtbl.find counts key with Not_found -> 0))
+  done;
+  check_int "all 16 trees appear" 16 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c -> check_true "near uniform" (c > 380 && c < 620))
+    counts
+
+let test_ust_on_cycle () =
+  (* spanning trees of C_n = delete one edge: n choices *)
+  let rng = Prng.create 14 in
+  let host = Generators.cycle 6 in
+  let seen = Hashtbl.create 6 in
+  for _ = 1 to 600 do
+    let t = Random_graphs.uniform_spanning_tree rng host in
+    check_int "path" 5 (Graph.m t);
+    Hashtbl.replace seen (Graph.edges t) ()
+  done;
+  check_int "all 6 spanning trees seen" 6 (Hashtbl.length seen)
+
+let test_spanning_connected_subgraph () =
+  let rng = Prng.create 11 in
+  let host = Generators.complete 12 in
+  let g = Random_graphs.spanning_connected_subgraph rng host 20 in
+  check_int "m" 20 (Graph.m g);
+  check_true "connected" (Components.is_connected g);
+  Graph.iter_edges (fun u v -> check_true "subgraph" (Graph.mem_edge host u v)) g
+
+let test_gnm_uniform_support =
+  qcheck ~count:50 "gnm produces graphs within bounds"
+    QCheck2.Gen.(pair (int_range 2 12) (int_range 0 1000)) (fun (n, seed) ->
+      let rng = Prng.create seed in
+      let max_m = n * (n - 1) / 2 in
+      let m = Prng.int rng (max_m + 1) in
+      let g = Random_graphs.gnm rng n m in
+      Graph.m g = m && Graph.n g = n)
+
+let suite =
+  [
+    case "gnp extremes" test_gnp_extremes;
+    case "gnp density" test_gnp_density;
+    case "gnm exact counts" test_gnm_exact;
+    case "gnm complete" test_gnm_complete;
+    case "random tree" test_tree;
+    case "tree distribution diversity" test_tree_distribution_hits_star_and_path;
+    case "pruefer bijection n=4" test_pruefer_bijection_n4;
+    case "pruefer star" test_pruefer_star;
+    case "connected gnm" test_connected_gnm;
+    case "random regular" test_regular;
+    case "preferential attachment" test_preferential_attachment;
+    case "watts strogatz" test_watts_strogatz;
+    case "uniform spanning tree (Wilson)" test_uniform_spanning_tree;
+    case "UST uniformity on K4" test_uniform_spanning_tree_uniformity;
+    case "UST on a cycle" test_ust_on_cycle;
+    case "spanning connected subgraph" test_spanning_connected_subgraph;
+    test_gnm_uniform_support;
+  ]

@@ -1,0 +1,80 @@
+open Test_helpers
+
+let check_close msg expected actual =
+  Alcotest.(check (float 1e-3)) msg expected actual
+
+let test_spectral_radius_known () =
+  check_close "complete K6" 5.0 (Spectral.adjacency_spectral_radius (Generators.complete 6));
+  check_close "cycle" 2.0 (Spectral.adjacency_spectral_radius (Generators.cycle 9));
+  check_close "star K1,8" (sqrt 8.0) (Spectral.adjacency_spectral_radius (Generators.star 9));
+  check_close "hypercube Q4" 4.0 (Spectral.adjacency_spectral_radius (Generators.hypercube 4));
+  check_close "empty" 0.0 (Spectral.adjacency_spectral_radius (Graph.create 5))
+
+let test_algebraic_connectivity_known () =
+  check_close "complete K6" 6.0 (Spectral.algebraic_connectivity (Generators.complete 6));
+  check_close "C8" (2.0 -. (2.0 *. cos (2.0 *. Float.pi /. 8.0)))
+    (Spectral.algebraic_connectivity (Generators.cycle 8));
+  check_close "P4" (2.0 -. (2.0 *. cos (Float.pi /. 4.0)))
+    (Spectral.algebraic_connectivity (Generators.path 4));
+  check_close "Q3" 2.0 (Spectral.algebraic_connectivity (Generators.hypercube 3));
+  check_close "Petersen" 2.0 (Spectral.algebraic_connectivity (Generators.petersen ()))
+
+let test_disconnected_zero () =
+  check_close "two components" 0.0
+    (Spectral.algebraic_connectivity (Graph.of_edges 4 [ (0, 1); (2, 3) ]));
+  check_close "isolated vertex" 0.0
+    (Spectral.algebraic_connectivity (Graph.of_edges 3 [ (0, 1) ]))
+
+let test_second_eigenvalue () =
+  check_close "Petersen lambda2" 2.0
+    (Spectral.second_adjacency_eigenvalue (Generators.petersen ()));
+  (* K_n: second eigenvalue is -1, so |.| = 1 *)
+  check_close "K6" 1.0 (Spectral.second_adjacency_eigenvalue (Generators.complete 6));
+  (* C4: eigenvalues 2, 0, 0, -2: second-largest absolute is 2 *)
+  check_close "C4 bipartite" 2.0 (Spectral.second_adjacency_eigenvalue (Generators.cycle 4));
+  Alcotest.check_raises "non-regular rejected"
+    (Invalid_argument "Spectral.second_adjacency_eigenvalue: graph must be regular")
+    (fun () -> ignore (Spectral.second_adjacency_eigenvalue (Generators.star 4)))
+
+let test_diameter_bound () =
+  (* the bound is valid wherever defined *)
+  List.iter
+    (fun g ->
+      match Spectral.spectral_diameter_bound g with
+      | Some b ->
+        let d = Option.get (Metrics.diameter g) in
+        check_true "bound holds" (float_of_int d <= b)
+      | None -> ())
+    [
+      Generators.petersen ();
+      Generators.complete 8;
+      Generators.cycle 9;
+      Polarity.polarity_graph 3 |> fun g -> g;
+    ];
+  (* bipartite regular graphs degenerate to None *)
+  check_true "hypercube degenerates" (Spectral.spectral_diameter_bound (Generators.hypercube 3) = None);
+  check_true "non-regular none" (Spectral.spectral_diameter_bound (Generators.star 5) = None)
+
+let test_connectivity_positive_iff_connected =
+  qcheck ~count:30 "fiedler > 0 iff connected" (gen_any_graph ~min_n:2 ~max_n:12)
+    (fun g ->
+      let f = Spectral.algebraic_connectivity g in
+      if Components.is_connected g then f > 1e-6 else f < 1e-6)
+
+let test_radius_bounds_degree =
+  qcheck ~count:30 "avg degree <= lambda1 <= max degree"
+    (gen_connected ~min_n:2 ~max_n:15) (fun g ->
+      let l1 = Spectral.adjacency_spectral_radius g in
+      let avg = 2.0 *. float_of_int (Graph.m g) /. float_of_int (Graph.n g) in
+      l1 >= avg -. 1e-3 && l1 <= float_of_int (Graph.max_degree g) +. 1e-3)
+
+let suite =
+  [
+    case "spectral radius (known values)" test_spectral_radius_known;
+    case "algebraic connectivity (known values)" test_algebraic_connectivity_known;
+    case "disconnected gives zero" test_disconnected_zero;
+    case "second adjacency eigenvalue" test_second_eigenvalue;
+    case "spectral diameter bound" test_diameter_bound;
+    test_connectivity_positive_iff_connected;
+    test_radius_bounds_degree;
+  ]

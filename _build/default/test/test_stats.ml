@@ -1,0 +1,77 @@
+open Test_helpers
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "singleton" 7.0 (Stats.mean [| 7.0 |])
+
+let test_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  check_float "singleton" 0.0 (Stats.stddev [| 5.0 |]);
+  (* sample sd of 1..5 = sqrt(2.5) *)
+  check_float "1..5" (sqrt 2.5) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_median () =
+  check_float "odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  check_float "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  check_float "input not sorted" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |])
+
+let test_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_float "p0" 10.0 (Stats.percentile xs 0.0);
+  check_float "p100" 40.0 (Stats.percentile xs 100.0);
+  check_float "p50" 25.0 (Stats.percentile xs 50.0);
+  check_float "p25 interpolated" 17.5 (Stats.percentile xs 25.0)
+
+let test_summarize () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  check_int "count" 3 s.Stats.count;
+  check_float "mean" 2.0 s.Stats.mean;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 3.0 s.Stats.max;
+  check_float "median" 2.0 s.Stats.median
+
+let test_summarize_ints () =
+  let s = Stats.summarize_ints [| 4; 2 |] in
+  check_float "mean" 3.0 s.Stats.mean
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_histogram () =
+  Alcotest.(check (list (pair int int)))
+    "histogram" [ (1, 2); (2, 1); (5, 3) ]
+    (Stats.histogram [| 5; 1; 5; 2; 1; 5 |]);
+  Alcotest.(check (list (pair int int))) "empty" [] (Stats.histogram [||])
+
+let test_mean_shift_property =
+  qcheck "mean of shifted sample shifts"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let shifted = Array.map (fun x -> x +. 10.0) a in
+      abs_float (Stats.mean shifted -. (Stats.mean a +. 10.0)) < 1e-6)
+
+let test_median_between_extremes =
+  qcheck "median within [min, max]"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let s = Stats.summarize a in
+      s.Stats.median >= s.Stats.min && s.Stats.median <= s.Stats.max)
+
+let suite =
+  [
+    case "mean" test_mean;
+    case "stddev" test_stddev;
+    case "median" test_median;
+    case "percentile" test_percentile;
+    case "summarize" test_summarize;
+    case "summarize_ints" test_summarize_ints;
+    case "empty raises" test_empty_raises;
+    case "histogram" test_histogram;
+    test_mean_shift_property;
+    test_median_between_extremes;
+  ]

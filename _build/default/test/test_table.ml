@@ -1,0 +1,61 @@
+open Test_helpers
+
+let test_render_shape () =
+  let t =
+    Table.create ~title:"demo" ~columns:[ ("name", Table.Left); ("v", Table.Right) ]
+  in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  check_true "has title" (String.length out > 0 && String.sub out 0 7 = "== demo");
+  let lines = String.split_on_char '\n' out in
+  let widths = List.filter (fun l -> String.length l > 0) lines |> List.map String.length in
+  (match widths with
+  | _ :: rest ->
+    let all_equal = List.for_all (fun w -> w = List.hd rest) rest in
+    check_true "aligned rows" all_equal
+  | [] -> Alcotest.fail "no output")
+
+let test_alignment () =
+  let t = Table.create ~title:"x" ~columns:[ ("n", Table.Right) ] in
+  Table.add_row t [ "1" ];
+  Table.add_row t [ "100" ];
+  let out = Table.render t in
+  check_true "right aligned pads short cells" (String.length out > 0);
+  (* the row containing "1" must pad it to width 3: "|   1 |" *)
+  let has_padded =
+    String.split_on_char '\n' out |> List.exists (fun l -> l = "|   1 |")
+  in
+  check_true "padded cell present" has_padded
+
+let test_row_arity_checked () =
+  let t = Table.create ~title:"x" ~columns:[ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: wrong number of cells")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_rows_in_order () =
+  let t = Table.create ~title:"x" ~columns:[ ("a", Table.Left) ] in
+  Table.add_rows t [ [ "first" ]; [ "second" ] ];
+  let out = Table.render t in
+  let first_idx =
+    match String.index_opt out 'f' with Some i -> i | None -> max_int
+  in
+  let second_idx =
+    match String.index_opt out 's' with Some i -> i | None -> -1
+  in
+  check_true "order preserved" (first_idx < second_idx)
+
+let test_cells () =
+  check_true "int" (Table.cell_int 42 = "42");
+  check_true "float digits" (Table.cell_float ~digits:2 3.14159 = "3.14");
+  check_true "bool yes" (Table.cell_bool true = "yes");
+  check_true "bool no" (Table.cell_bool false = "no")
+
+let suite =
+  [
+    case "render shape" test_render_shape;
+    case "right alignment" test_alignment;
+    case "row arity checked" test_row_arity_checked;
+    case "row order" test_rows_in_order;
+    case "cell formatting" test_cells;
+  ]

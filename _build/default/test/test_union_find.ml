@@ -1,0 +1,68 @@
+open Test_helpers
+
+let test_initial () =
+  let uf = Union_find.create 5 in
+  check_int "classes" 5 (Union_find.count uf);
+  for i = 0 to 4 do
+    check_int "own root" i (Union_find.find uf i);
+    check_int "size 1" 1 (Union_find.class_size uf i)
+  done
+
+let test_union_basic () =
+  let uf = Union_find.create 4 in
+  check_true "first union merges" (Union_find.union uf 0 1);
+  check_false "second union no-op" (Union_find.union uf 0 1);
+  check_true "same" (Union_find.same uf 0 1);
+  check_false "not same" (Union_find.same uf 0 2);
+  check_int "classes" 3 (Union_find.count uf);
+  check_int "size" 2 (Union_find.class_size uf 1)
+
+let test_transitivity () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 2);
+  check_true "transitive" (Union_find.same uf 0 3);
+  check_int "size 4" 4 (Union_find.class_size uf 0);
+  check_int "classes" 3 (Union_find.count uf)
+
+let test_chain_all () =
+  let n = 1000 in
+  let uf = Union_find.create n in
+  for i = 0 to n - 2 do
+    ignore (Union_find.union uf i (i + 1))
+  done;
+  check_int "one class" 1 (Union_find.count uf);
+  check_int "full size" n (Union_find.class_size uf 500);
+  check_true "ends joined" (Union_find.same uf 0 (n - 1))
+
+let test_against_model () =
+  (* compare against a naive labels array under random unions *)
+  let rng = Prng.create 123 in
+  let n = 60 in
+  let uf = Union_find.create n in
+  let label = Array.init n (fun i -> i) in
+  let relabel a b =
+    let la = label.(a) and lb = label.(b) in
+    if la <> lb then
+      Array.iteri (fun i l -> if l = lb then label.(i) <- la) label
+  in
+  for _ = 1 to 200 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    ignore (Union_find.union uf a b);
+    relabel a b
+  done;
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      check_bool "same matches model" (label.(a) = label.(b)) (Union_find.same uf a b)
+    done
+  done
+
+let suite =
+  [
+    case "initial state" test_initial;
+    case "union basics" test_union_basic;
+    case "transitivity" test_transitivity;
+    case "1000-chain" test_chain_all;
+    case "randomized against naive model" test_against_model;
+  ]

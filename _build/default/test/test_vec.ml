@@ -1,0 +1,136 @@
+open Test_helpers
+
+let make_range n =
+  let v = Vec.create ~dummy:(-1) () in
+  for i = 0 to n - 1 do
+    Vec.push v i
+  done;
+  v
+
+let test_empty () =
+  let v = Vec.create ~dummy:0 () in
+  check_int "length" 0 (Vec.length v);
+  check_true "is_empty" (Vec.is_empty v)
+
+let test_push_get () =
+  let v = make_range 100 in
+  check_int "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    check_int "get" i (Vec.get v i)
+  done
+
+let test_set () =
+  let v = make_range 10 in
+  Vec.set v 3 42;
+  check_int "set took" 42 (Vec.get v 3)
+
+let test_bounds () =
+  let v = make_range 3 in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 3));
+  Alcotest.check_raises "negative" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v (-1)))
+
+let test_pop () =
+  let v = make_range 3 in
+  check_int "pop" 2 (Vec.pop v);
+  check_int "pop" 1 (Vec.pop v);
+  check_int "length" 1 (Vec.length v);
+  check_int "pop" 0 (Vec.pop v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Vec.pop v))
+
+let test_swap_remove () =
+  let v = make_range 5 in
+  check_int "removed" 1 (Vec.swap_remove v 1);
+  check_int "length" 4 (Vec.length v);
+  check_int "last moved in" 4 (Vec.get v 1)
+
+let test_swap_remove_last () =
+  let v = make_range 3 in
+  check_int "removed" 2 (Vec.swap_remove v 2);
+  check_int "length" 2 (Vec.length v)
+
+let test_clear () =
+  let v = make_range 10 in
+  Vec.clear v;
+  check_int "cleared" 0 (Vec.length v);
+  Vec.push v 7;
+  check_int "reusable" 7 (Vec.get v 0)
+
+let test_iter_order () =
+  let v = make_range 10 in
+  let acc = ref [] in
+  Vec.iter (fun x -> acc := x :: !acc) v;
+  Alcotest.(check (list int)) "order" (List.init 10 (fun i -> 9 - i)) !acc
+
+let test_iteri () =
+  let v = make_range 10 in
+  Vec.iteri (fun i x -> check_int "index matches" i x) v
+
+let test_fold () =
+  let v = make_range 10 in
+  check_int "sum" 45 (Vec.fold_left ( + ) 0 v)
+
+let test_exists_mem () =
+  let v = make_range 10 in
+  check_true "exists" (Vec.exists (fun x -> x = 7) v);
+  check_false "not exists" (Vec.exists (fun x -> x = 99) v);
+  check_true "mem" (Vec.mem 3 v);
+  check_false "not mem" (Vec.mem 11 v)
+
+let test_find_index () =
+  let v = make_range 10 in
+  Alcotest.(check (option int)) "found" (Some 4) (Vec.find_index (fun x -> x = 4) v);
+  Alcotest.(check (option int)) "absent" None (Vec.find_index (fun x -> x > 100) v)
+
+let test_to_array_list () =
+  let v = make_range 4 in
+  Alcotest.(check (array int)) "array" [| 0; 1; 2; 3 |] (Vec.to_array v);
+  Alcotest.(check (list int)) "list" [ 0; 1; 2; 3 ] (Vec.to_list v)
+
+let test_of_array () =
+  let v = Vec.of_array ~dummy:(-1) [| 5; 6; 7 |] in
+  check_int "length" 3 (Vec.length v);
+  check_int "content" 6 (Vec.get v 1)
+
+let test_copy_independent () =
+  let v = make_range 3 in
+  let w = Vec.copy v in
+  Vec.set w 0 99;
+  check_int "original untouched" 0 (Vec.get v 0)
+
+let test_sort () =
+  let v = Vec.of_array ~dummy:0 [| 3; 1; 2 |] in
+  Vec.sort compare v;
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 3 |] (Vec.to_array v)
+
+let test_growth () =
+  let v = Vec.create ~capacity:1 ~dummy:0 () in
+  for i = 0 to 9999 do
+    Vec.push v i
+  done;
+  check_int "length after growth" 10_000 (Vec.length v);
+  check_int "spot value" 5000 (Vec.get v 5000)
+
+let suite =
+  [
+    case "empty" test_empty;
+    case "push/get" test_push_get;
+    case "set" test_set;
+    case "bounds checking" test_bounds;
+    case "pop" test_pop;
+    case "swap_remove" test_swap_remove;
+    case "swap_remove last" test_swap_remove_last;
+    case "clear" test_clear;
+    case "iter order" test_iter_order;
+    case "iteri" test_iteri;
+    case "fold" test_fold;
+    case "exists/mem" test_exists_mem;
+    case "find_index" test_find_index;
+    case "to_array / to_list" test_to_array_list;
+    case "of_array" test_of_array;
+    case "copy independence" test_copy_independent;
+    case "sort" test_sort;
+    case "geometric growth" test_growth;
+  ]
