@@ -1,0 +1,26 @@
+# Convenience targets; the source of truth is dune.
+
+.PHONY: all build test bench bench-json verify clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# trajectory snapshot: compare BENCH_*.json files across PRs
+bench-json:
+	dune exec bench/main.exe -- --quick --json BENCH_$(shell git rev-parse --short HEAD).json
+
+# the tier-1 gate plus a quick bench smoke run with JSON output
+verify: build
+	dune runtest
+	dune exec bench/main.exe -- --quick --json /tmp/bncg_bench_quick.json
+
+clean:
+	dune clean

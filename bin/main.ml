@@ -35,6 +35,23 @@ let graph6_arg =
   let doc = "The graph, as a graph6 string (as printed by $(b,bncg generate))." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH6" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel kernels (census sharding, per-agent \
+     equilibrium scans). 0 means all available cores; 1 forces the \
+     sequential code path."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* 0 = hardware default; every subcommand builds its pool through here so
+   the domains are joined on the way out *)
+let with_jobs jobs f =
+  if jobs < 0 then `Error (false, "--jobs must be >= 0")
+  else begin
+    let jobs = if jobs = 0 then Pool.available_jobs () else jobs in
+    Pool.with_pool ~jobs f
+  end
+
 let decode_graph s =
   try Ok (Graph6.decode s) with Invalid_argument msg -> Error msg
 
@@ -135,14 +152,15 @@ let info_cmd =
 
 (* --- check ---------------------------------------------------------------- *)
 
-let check version g6 =
+let check version jobs g6 =
   match decode_graph g6 with
   | Error msg -> `Error (false, msg)
   | Ok g ->
+    with_jobs jobs @@ fun pool ->
     let verdict =
       match version with
-      | Usage_cost.Sum -> Equilibrium.check_sum g
-      | Usage_cost.Max -> Equilibrium.check_max g
+      | Usage_cost.Sum -> Equilibrium.check_sum ~pool g
+      | Usage_cost.Max -> Equilibrium.check_max ~pool g
     in
     Printf.printf "version: %s\n" (Usage_cost.version_name version);
     Printf.printf "verdict: %s\n" (Format.asprintf "%a" Equilibrium.pp_verdict verdict);
@@ -163,7 +181,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check whether a graph is a swap equilibrium")
-    Term.(ret (const check $ version $ graph6_arg))
+    Term.(ret (const check $ version $ jobs_arg $ graph6_arg))
 
 (* --- dynamics --------------------------------------------------------------- *)
 
@@ -222,9 +240,10 @@ let dynamics_cmd =
 
 (* --- census --------------------------------------------------------------- *)
 
-let census version n trees =
+let census version n trees jobs =
+  with_jobs jobs @@ fun pool ->
   if trees then begin
-    let c = Census.tree_census version n in
+    let c = Census.tree_census ~pool version n in
     Printf.printf "labeled trees: %d\n" c.Census.total;
     Printf.printf "equilibria: %d (stars %d, double stars %d)\n" c.Census.equilibria
       c.Census.stars c.Census.double_stars;
@@ -232,7 +251,7 @@ let census version n trees =
     `Ok ()
   end
   else begin
-    let c = Census.graph_census version n in
+    let c = Census.graph_census ~pool version n in
     Printf.printf "connected graphs: %d\n" c.Census.connected;
     Printf.printf "equilibria: %d labeled, %d up to isomorphism\n"
       c.Census.equilibria_labeled
@@ -254,12 +273,12 @@ let census_cmd =
   in
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Vertex count (graphs <= 8, trees <= 10).") in
   let trees = Arg.(value & flag & info [ "trees" ] ~doc:"Census over trees instead of all connected graphs.") in
-  let run version n trees =
-    try census version n trees with Invalid_argument msg -> `Error (false, msg)
+  let run version n trees jobs =
+    try census version n trees jobs with Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "census" ~doc:"Exhaustively classify equilibria on small vertex counts")
-    Term.(ret (const run $ version $ n $ trees))
+    Term.(ret (const run $ version $ n $ trees $ jobs_arg))
 
 (* --- experiment -------------------------------------------------------------- *)
 

@@ -1,5 +1,5 @@
 let e22_equilibrium_catalog ?(n = 5) ?(version = Usage_cost.Sum) () =
-  let census = Census.graph_census version n in
+  let census = Census.graph_census ~pool:(Exp_common.pool ()) version n in
   let t =
     Table.create
       ~title:

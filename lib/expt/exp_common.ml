@@ -1,3 +1,18 @@
+(* One pool shared by every experiment table, sized from BNCG_JOBS (or
+   the hardware default) and created on first use so experiment code that
+   never goes parallel spawns no domains. *)
+let jobs () =
+  match Sys.getenv_opt "BNCG_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> j
+    | _ -> invalid_arg "BNCG_JOBS must be a positive integer")
+  | None -> Pool.available_jobs ()
+
+let shared_pool = lazy (Pool.create ~jobs:(jobs ()) ())
+
+let pool () = Lazy.force shared_pool
+
 let diameter_cell g =
   match Metrics.diameter g with Some d -> string_of_int d | None -> "inf"
 

@@ -1,5 +1,14 @@
 (** Shared helpers for the experiment tables. *)
 
+val jobs : unit -> int
+(** Worker count for the experiment pool: [BNCG_JOBS] when set (must be a
+    positive integer), otherwise {!Pool.available_jobs}. *)
+
+val pool : unit -> Pool.t
+(** The process-wide pool the experiment tables run their census /
+    equilibrium / eccentricity kernels on. Created lazily on first use;
+    lives for the remainder of the process. *)
+
 val diameter_cell : Graph.t -> string
 (** Diameter, or "inf" when disconnected. *)
 

@@ -63,7 +63,7 @@ let e4_graph_census ?(max_n = 6) ?(versions = [ Usage_cost.Sum; Usage_cost.Max ]
   List.iter
     (fun version ->
       for n = 3 to max_n do
-        let c = Census.graph_census version n in
+        let c = Census.graph_census ~pool:(Exp_common.pool ()) version n in
         Table.add_row t
           [
             Usage_cost.version_name version;

@@ -51,6 +51,24 @@ let count_connected_graphs n =
   connected_graphs n (fun _ -> incr c);
   !c
 
+let graph_mask_count n =
+  if n < 0 || n > max_graph_vertices then invalid_arg "Enumerate.graph_mask_count";
+  1 lsl (n * (n - 1) / 2)
+
+let connected_graphs_in n ~lo ~hi f =
+  if n < 0 || n > max_graph_vertices then invalid_arg "Enumerate.connected_graphs_in";
+  let total = graph_mask_count n in
+  if lo < 0 || hi > total || lo > hi then invalid_arg "Enumerate.connected_graphs_in";
+  if n <= 1 then begin
+    if lo = 0 && hi > 0 then f (Graph.create n)
+  end
+  else begin
+    let pairs = pair_list n in
+    for mask = lo to hi - 1 do
+      if connected_mask n pairs mask then f (graph_of_mask n pairs mask)
+    done
+  end
+
 let trees n f =
   if n < 1 || n > max_tree_vertices then invalid_arg "Enumerate.trees";
   if n <= 2 then f (Random_graphs.tree_of_pruefer n [||])
@@ -81,6 +99,37 @@ let count_trees n =
   else begin
     let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
     pow n (n - 2)
+  end
+
+let trees_in n ~lo ~hi f =
+  if n < 1 || n > max_tree_vertices then invalid_arg "Enumerate.trees_in";
+  let total = count_trees n in
+  if lo < 0 || hi > total || lo > hi then invalid_arg "Enumerate.trees_in";
+  if n <= 2 then begin
+    if lo = 0 && hi > 0 then f (Random_graphs.tree_of_pruefer n [||])
+  end
+  else begin
+    let len = n - 2 in
+    (* seed the odometer at rank [lo]: the sequence is the big-endian
+       base-n digit expansion of the rank, matching [trees]'s visit order *)
+    let seq = Array.make len 0 in
+    let rem = ref lo in
+    for i = len - 1 downto 0 do
+      seq.(i) <- !rem mod n;
+      rem := !rem / n
+    done;
+    let rec bump i =
+      if i >= 0 then
+        if seq.(i) + 1 < n then seq.(i) <- seq.(i) + 1
+        else begin
+          seq.(i) <- 0;
+          bump (i - 1)
+        end
+    in
+    for _rank = lo to hi - 1 do
+      f (Random_graphs.tree_of_pruefer n seq);
+      bump (len - 1)
+    done
   end
 
 let edge_subsets_of g ~size f =

@@ -23,6 +23,17 @@ val count_connected_graphs : int -> int
 (** Convenience: number of connected labeled graphs on n vertices
     (sequence A001187: 1, 1, 1, 4, 38, 728, 26704, 1866256, ...). *)
 
+val graph_mask_count : int -> int
+(** [2^(n·(n-1)/2)] — the edge-subset mask space that {!connected_graphs}
+    walks; the rank space for {!connected_graphs_in}. *)
+
+val connected_graphs_in :
+  int -> lo:int -> hi:int -> (Graph.t -> unit) -> unit
+(** [connected_graphs_in n ~lo ~hi f] visits the connected graphs whose
+    edge-subset mask lies in [[lo, hi)], in mask order. Concatenating
+    disjoint adjacent ranges over [[0, graph_mask_count n)] reproduces
+    {!connected_graphs} exactly — this is the census sharding primitive. *)
+
 val all_graphs : int -> (Graph.t -> unit) -> unit
 (** Every labeled graph, connected or not. *)
 
@@ -32,6 +43,11 @@ val trees : int -> (Graph.t -> unit) -> unit
 
 val count_trees : int -> int
 (** [n^(n-2)] for n >= 2, else 1. *)
+
+val trees_in : int -> lo:int -> hi:int -> (Graph.t -> unit) -> unit
+(** [trees_in n ~lo ~hi f] visits the labeled trees of Prüfer rank
+    [lo .. hi - 1] (the rank is the big-endian base-[n] value of the
+    Prüfer sequence), in rank order — the same order as {!trees}. *)
 
 val edge_subsets_of :
   Graph.t -> size:int -> ((int * int) list -> unit) -> unit

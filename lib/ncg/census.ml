@@ -8,62 +8,110 @@ type tree_census = {
   witnesses_verified : int;
 }
 
-let tree_census version n =
-  let total = ref 0 in
-  let equilibria = ref 0 in
-  let stars = ref 0 in
-  let double_stars = ref 0 in
-  let max_eq_diameter = ref 0 in
-  let witnesses = ref 0 in
+(* Mutable per-shard accumulator: the sequential census is the
+   single-shard case, and the parallel census merges one of these per
+   chunk (all fields combine with + or max, so merge order is
+   irrelevant). *)
+type tree_tally = {
+  mutable t_total : int;
+  mutable t_equilibria : int;
+  mutable t_stars : int;
+  mutable t_double_stars : int;
+  mutable t_max_diameter : int;
+  mutable t_witnesses : int;
+}
+
+let fresh_tally () =
+  {
+    t_total = 0;
+    t_equilibria = 0;
+    t_stars = 0;
+    t_double_stars = 0;
+    t_max_diameter = 0;
+    t_witnesses = 0;
+  }
+
+let merge_tally a b =
+  {
+    t_total = a.t_total + b.t_total;
+    t_equilibria = a.t_equilibria + b.t_equilibria;
+    t_stars = a.t_stars + b.t_stars;
+    t_double_stars = a.t_double_stars + b.t_double_stars;
+    t_max_diameter = max a.t_max_diameter b.t_max_diameter;
+    t_witnesses = a.t_witnesses + b.t_witnesses;
+  }
+
+let classify_tree version tally g =
   let generic_eq =
     match version with
-    | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium
-    | Usage_cost.Max -> Equilibrium.is_max_equilibrium
+    | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium ?pool:None
+    | Usage_cost.Max -> Equilibrium.is_max_equilibrium ?pool:None
   in
   let record_eq g =
     (* the shape classification is cheap; cross-validate every accepted
        tree against the generic checker so the census is fully verified *)
     assert (generic_eq g);
-    incr equilibria;
-    if Tree_eq.is_star g then incr stars;
-    if Tree_eq.is_double_star g then incr double_stars;
+    tally.t_equilibria <- tally.t_equilibria + 1;
+    if Tree_eq.is_star g then tally.t_stars <- tally.t_stars + 1;
+    if Tree_eq.is_double_star g then
+      tally.t_double_stars <- tally.t_double_stars + 1;
     match Metrics.diameter g with
-    | Some d -> if d > !max_eq_diameter then max_eq_diameter := d
+    | Some d -> if d > tally.t_max_diameter then tally.t_max_diameter <- d
     | None -> assert false
   in
-  Enumerate.trees n (fun g ->
-      incr total;
-      match version with
-      | Usage_cost.Sum ->
-        if Tree_eq.is_star g then record_eq g
-        else begin
-          (* Theorem 1 witness: verified-improving swap on every non-star *)
-          match Tree_eq.theorem1_witness g with
-          | Some _ -> incr witnesses
-          | None ->
-            (* diameter <= 2 tree that is not a star: impossible *)
-            assert false
-        end
-      | Usage_cost.Max ->
-        if Tree_eq.max_eq_tree g then record_eq g
-        else begin
-          match Tree_eq.theorem4_witness g with
-          | Some _ -> incr witnesses
-          | None ->
-            (* diameter <= 3 non-equilibrium: confirm with the generic
-               checker that an improving move indeed exists *)
-            assert (not (Equilibrium.is_max_equilibrium g));
-            incr witnesses
-        end);
+  tally.t_total <- tally.t_total + 1;
+  match version with
+  | Usage_cost.Sum ->
+    if Tree_eq.is_star g then record_eq g
+    else begin
+      (* Theorem 1 witness: verified-improving swap on every non-star *)
+      match Tree_eq.theorem1_witness g with
+      | Some _ -> tally.t_witnesses <- tally.t_witnesses + 1
+      | None ->
+        (* diameter <= 2 tree that is not a star: impossible *)
+        assert false
+    end
+  | Usage_cost.Max ->
+    if Tree_eq.max_eq_tree g then record_eq g
+    else begin
+      match Tree_eq.theorem4_witness g with
+      | Some _ -> tally.t_witnesses <- tally.t_witnesses + 1
+      | None ->
+        (* diameter <= 3 non-equilibrium: confirm with the generic
+           checker that an improving move indeed exists *)
+        assert (not (Equilibrium.is_max_equilibrium g));
+        tally.t_witnesses <- tally.t_witnesses + 1
+    end
+
+let census_of_tally n t =
   {
     n;
-    total = !total;
-    equilibria = !equilibria;
-    stars = !stars;
-    double_stars = !double_stars;
-    max_eq_diameter = !max_eq_diameter;
-    witnesses_verified = !witnesses;
+    total = t.t_total;
+    equilibria = t.t_equilibria;
+    stars = t.t_stars;
+    double_stars = t.t_double_stars;
+    max_eq_diameter = t.t_max_diameter;
+    witnesses_verified = t.t_witnesses;
   }
+
+let tree_census ?pool version n =
+  let tally =
+    match pool with
+    | Some pool when Pool.jobs pool > 1 ->
+      (* shard the Prüfer rank space; each chunk re-seeds its own
+         odometer, so shards are independent and cover [0, n^(n-2)) *)
+      Pool.fold_chunks pool ~n:(Enumerate.count_trees n)
+        ~fold:(fun ~lo ~hi ->
+          let tally = fresh_tally () in
+          Enumerate.trees_in n ~lo ~hi (classify_tree version tally);
+          tally)
+        ~reduce:merge_tally ~zero:(fresh_tally ())
+    | _ ->
+      let tally = fresh_tally () in
+      Enumerate.trees n (classify_tree version tally);
+      tally
+  in
+  census_of_tally n tally
 
 type graph_census = {
   n : int;
@@ -74,23 +122,63 @@ type graph_census = {
   max_diameter : int;
 }
 
-let graph_census version n =
+(* One shard of the connected-graph sweep: counts plus the first
+   representative of each isomorphism class in mask order. Keeping reps
+   as an ordered assoc list makes the chunk-ordered merge reproduce the
+   sequential first-seen choice exactly. *)
+type graph_shard = {
+  s_connected : int;
+  s_labeled : int;
+  s_reps : (string * Graph.t) list;
+}
+
+let empty_shard = { s_connected = 0; s_labeled = 0; s_reps = [] }
+
+let graph_shard_of_range version n ~lo ~hi =
   let connected = ref 0 in
   let labeled = ref 0 in
-  let reps = Hashtbl.create 64 in
+  let seen = Hashtbl.create 64 in
+  let reps = ref [] in
   let is_eq =
     match version with
-    | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium
-    | Usage_cost.Max -> Equilibrium.is_max_equilibrium
+    | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium ?pool:None
+    | Usage_cost.Max -> Equilibrium.is_max_equilibrium ?pool:None
   in
-  Enumerate.connected_graphs n (fun g ->
+  Enumerate.connected_graphs_in n ~lo ~hi (fun g ->
       incr connected;
       if is_eq g then begin
         incr labeled;
         let key = Canon.canonical_form g in
-        if not (Hashtbl.mem reps key) then Hashtbl.add reps key g
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          reps := (key, g) :: !reps
+        end
       end);
-  let iso = Hashtbl.fold (fun _ g acc -> g :: acc) reps [] in
+  { s_connected = !connected; s_labeled = !labeled; s_reps = List.rev !reps }
+
+let merge_shard a b =
+  (* first-seen-wins per class; [a] precedes [b] in mask order. The rep
+     lists are a handful of equilibrium classes, so the quadratic assoc
+     scan is noise next to the enumeration itself. *)
+  {
+    s_connected = a.s_connected + b.s_connected;
+    s_labeled = a.s_labeled + b.s_labeled;
+    s_reps =
+      a.s_reps
+      @ List.filter (fun (k, _) -> not (List.mem_assoc k a.s_reps)) b.s_reps;
+  }
+
+let graph_census ?pool version n =
+  let total = Enumerate.graph_mask_count n in
+  let shard =
+    match pool with
+    | Some pool when Pool.jobs pool > 1 ->
+      Pool.fold_chunks pool ~n:total
+        ~fold:(fun ~lo ~hi -> graph_shard_of_range version n ~lo ~hi)
+        ~reduce:merge_shard ~zero:empty_shard
+    | _ -> graph_shard_of_range version n ~lo:0 ~hi:total
+  in
+  let iso = List.map snd shard.s_reps in
   let diams =
     List.map
       (fun g -> match Metrics.diameter g with Some d -> d | None -> assert false)
@@ -98,8 +186,8 @@ let graph_census version n =
   in
   {
     n;
-    connected = !connected;
-    equilibria_labeled = !labeled;
+    connected = shard.s_connected;
+    equilibria_labeled = shard.s_labeled;
     equilibria_iso = iso;
     diameter_histogram = Stats.histogram (Array.of_list diams);
     max_diameter = List.fold_left max 0 diams;

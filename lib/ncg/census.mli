@@ -18,12 +18,14 @@ type tree_census = {
           strictly improve *)
 }
 
-val tree_census : Usage_cost.version -> int -> tree_census
+val tree_census : ?pool:Pool.t -> Usage_cost.version -> int -> tree_census
 (** Exhaustive over all labeled trees on [n] vertices
     (n <= {!Enumerate.max_tree_vertices}). For the sum version every
     non-star receives the Theorem 1 witness; for max, trees of diameter
     >= 4 receive the Lemma 2 witness and small-diameter trees run the
-    generic checker. *)
+    generic checker. With [?pool] the Prüfer rank space is sharded
+    across domains and the per-shard tallies merged; the resulting
+    census record equals the sequential one. *)
 
 type graph_census = {
   n : int;
@@ -35,6 +37,9 @@ type graph_census = {
   max_diameter : int;
 }
 
-val graph_census : Usage_cost.version -> int -> graph_census
+val graph_census : ?pool:Pool.t -> Usage_cost.version -> int -> graph_census
 (** Exhaustive over all connected labeled graphs on [n] vertices
-    (n <= {!Enumerate.max_graph_vertices}; n = 7 takes minutes). *)
+    (n <= {!Enumerate.max_graph_vertices}; n = 7 takes minutes
+    sequentially). With [?pool] the edge-subset mask space is sharded
+    across domains; counts, representatives (first of each class in mask
+    order) and histogram equal the sequential results. *)

@@ -10,38 +10,83 @@ let pp_verdict ppf = function
 
 exception Witness of Swap.move * int
 
-let check_sum g =
+(* First violating move of a single agent, in move-enumeration order.
+   Both the sequential and the parallel checkers are built from this
+   per-agent scan, so their witnesses coincide. *)
+let agent_violation_sum ws g v =
+  try
+    Swap.iter_moves g v (fun mv ->
+        let d = Swap.delta ws Usage_cost.Sum g mv in
+        if d < 0 then raise (Witness (mv, d)));
+    None
+  with Witness (mv, d) -> Some (mv, d)
+
+let agent_violation_max ws g v =
+  try
+    Swap.iter_moves ~include_deletions:true g v (fun mv ->
+        let d = Swap.delta ws Usage_cost.Max g mv in
+        match mv with
+        | Swap.Swap _ -> if d < 0 then raise (Witness (mv, d))
+        | Swap.Delete _ ->
+          (* equilibrium demands deletion *strictly increases* the
+             actor's local diameter *)
+          if d <= 0 then raise (Witness (mv, d)));
+    None
+  with Witness (mv, d) -> Some (mv, d)
+
+(* Fan the per-agent scans across the pool. Swap deltas apply and undo
+   moves on the graph, so every domain works on its own [Graph.copy];
+   [Pool.parallel_find] keeps the lowest-agent witness, matching the
+   sequential scan order. *)
+let check_with ~agent_violation ?pool g =
   if not (Components.is_connected g) then Disconnected
   else begin
-    let ws = Bfs.create_workspace (Graph.n g) in
-    try
-      Swap.iter_all_moves g (fun mv ->
-          let d = Swap.delta ws Usage_cost.Sum g mv in
-          if d < 0 then raise (Witness (mv, d)));
-      Equilibrium
-    with Witness (mv, d) -> Violation (mv, d)
+    let n = Graph.n g in
+    let witness =
+      match pool with
+      | Some pool when Pool.jobs pool > 1 ->
+        Pool.parallel_find pool ~n
+          ~init:(fun () -> (Graph.copy g, Bfs.create_workspace n))
+          (fun (gc, ws) v -> agent_violation ws gc v)
+      | _ ->
+        let ws = Bfs.create_workspace n in
+        let rec scan v =
+          if v >= n then None
+          else
+            match agent_violation ws g v with
+            | Some _ as w -> w
+            | None -> scan (v + 1)
+        in
+        scan 0
+    in
+    match witness with
+    | Some (mv, d) -> Violation (mv, d)
+    | None -> Equilibrium
   end
 
-let is_sum_equilibrium g = check_sum g = Equilibrium
+let check_sum ?pool g = check_with ~agent_violation:agent_violation_sum ?pool g
 
-let check_max g =
-  if not (Components.is_connected g) then Disconnected
-  else begin
-    let ws = Bfs.create_workspace (Graph.n g) in
-    try
-      Swap.iter_all_moves ~include_deletions:true g (fun mv ->
-          let d = Swap.delta ws Usage_cost.Max g mv in
-          match mv with
-          | Swap.Swap _ -> if d < 0 then raise (Witness (mv, d))
-          | Swap.Delete _ ->
-            (* equilibrium demands deletion *strictly increases* the
-               actor's local diameter *)
-            if d <= 0 then raise (Witness (mv, d)));
-      Equilibrium
-    with Witness (mv, d) -> Violation (mv, d)
-  end
+let is_sum_equilibrium ?pool g = check_sum ?pool g = Equilibrium
 
-let is_max_equilibrium g = check_max g = Equilibrium
+let check_max ?pool g = check_with ~agent_violation:agent_violation_max ?pool g
+
+let is_max_equilibrium ?pool g = check_max ?pool g = Equilibrium
+
+(* Ascending non-neighbor candidates of [v], filled into one right-sized
+   array — the k-swap/insertion enumerators below call this per vertex,
+   where the previous [List.init |> List.filter |> Array.of_list] chain
+   churned O(n) list cells each time. *)
+let non_neighbors g v =
+  let n = Graph.n g in
+  let buf = Array.make (max n 1) 0 in
+  let k = ref 0 in
+  for w = 0 to n - 1 do
+    if w <> v && not (Graph.mem_edge g v w) then begin
+      buf.(!k) <- w;
+      incr k
+    end
+  done;
+  Array.sub buf 0 !k
 
 let find_non_critical_deletion g =
   let ws = Bfs.create_workspace (Graph.n g) in
@@ -92,12 +137,7 @@ let is_stable_under_insertions g ~k =
   let v = ref 0 in
   while !stable && !v < n do
     let base = Usage_cost.vertex_cost ws Usage_cost.Max g !v in
-    let candidates =
-      Array.of_list
-        (List.filter
-           (fun w -> w <> !v && not (Graph.mem_edge g !v w))
-           (List.init n (fun i -> i)))
-    in
+    let candidates = non_neighbors g !v in
     let chosen = Array.make (max k 1) (-1) in
     (* enumerate all subsets of size 1..k of absent incident edges at v *)
     let rec go depth lo size =
@@ -162,12 +202,7 @@ let find_k_swap_violation version g ~k =
     let actor = !v in
     let base = Usage_cost.vertex_cost ws version g actor in
     let neighbors = Graph.neighbors g actor in
-    let fresh =
-      Array.of_list
-        (List.filter
-           (fun w -> w <> actor && not (Graph.mem_edge g actor w))
-           (List.init n (fun i -> i)))
-    in
+    let fresh = non_neighbors g actor in
     let jmax = min k (min (Array.length neighbors) (Array.length fresh)) in
     for j = 1 to jmax do
       iter_subsets neighbors j stop (fun drops ->
@@ -197,12 +232,7 @@ let k_change_stable_sampled rng g ~k ~trials =
   let v = ref 0 in
   while !stable && !v < n do
     let base = Usage_cost.vertex_cost ws Usage_cost.Max g !v in
-    let nonneighbors =
-      Array.of_list
-        (List.filter
-           (fun w -> w <> !v && not (Graph.mem_edge g !v w))
-           (List.init n (fun i -> i)))
-    in
+    let nonneighbors = non_neighbors g !v in
     let neigh = Graph.neighbors g !v in
     let t = ref 0 in
     while !stable && !t < trials do

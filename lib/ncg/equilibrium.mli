@@ -18,21 +18,25 @@ val pp_verdict : Format.formatter -> verdict -> unit
 
 (** {1 Sum version} *)
 
-val check_sum : Graph.t -> verdict
+val check_sum : ?pool:Pool.t -> Graph.t -> verdict
 (** Sum equilibrium: no swap strictly decreases the actor's distance sum.
-    Deletions never decrease a distance sum so they are not checked. *)
+    Deletions never decrease a distance sum so they are not checked.
+    With [?pool] the per-agent move scans run across domains, each on its
+    own graph copy and BFS workspace; the verdict — including the exact
+    witness move — is identical to the sequential scan (lowest agent,
+    first move in enumeration order). *)
 
-val is_sum_equilibrium : Graph.t -> bool
+val is_sum_equilibrium : ?pool:Pool.t -> Graph.t -> bool
 
 (** {1 Max version} *)
 
-val check_max : Graph.t -> verdict
+val check_max : ?pool:Pool.t -> Graph.t -> verdict
 (** Max equilibrium per the paper: no swap strictly decreases the actor's
     local diameter, {b and} every incident deletion strictly increases it.
     A reported [Violation (Delete _, d)] with [d <= 0] is a failure of the
-    deletion-criticality half. *)
+    deletion-criticality half. [?pool] as in {!check_sum}. *)
 
-val is_max_equilibrium : Graph.t -> bool
+val is_max_equilibrium : ?pool:Pool.t -> Graph.t -> bool
 
 val is_deletion_critical : Graph.t -> bool
 (** Deleting any edge strictly increases the local diameter of both

@@ -45,14 +45,18 @@ let iter_moves ?(include_deletions = false) g v f =
   let n = Graph.n g in
   (* snapshot both the neighbor row and the non-neighbor set up front: the
      callback typically applies/undoes moves, which reorders the live
-     adjacency rows mid-iteration *)
+     adjacency rows mid-iteration. The bitset makes the membership test
+     O(1) per candidate, so enumeration is O(deg·n) instead of O(deg²·n). *)
   let neighbors = Graph.neighbors g v in
+  let adjacent = Bitset.create n in
+  Array.iter (fun w -> Bitset.add adjacent w) neighbors;
   Array.iter
     (fun drop ->
       if include_deletions then f (Delete { actor = v; drop });
       for add = 0 to n - 1 do
-        if add <> v && add <> drop && not (Array.exists (fun w -> w = add) neighbors)
-        then f (Swap { actor = v; drop; add })
+        (* add = drop is already excluded: drop is adjacent *)
+        if add <> v && not (Bitset.mem adjacent add) then
+          f (Swap { actor = v; drop; add })
       done)
     neighbors
 

@@ -79,9 +79,46 @@ let test_edge_subsets_distinct () =
       Hashtbl.replace seen (List.sort compare subset) ());
   check_int "C(6,2) distinct" 15 (Hashtbl.length seen)
 
+let test_trees_in_ranges_cover () =
+  (* concatenating disjoint rank ranges must replay [trees] exactly *)
+  let n = 5 in
+  let full = ref [] in
+  Enumerate.trees n (fun g -> full := g :: !full);
+  let full = List.rev !full in
+  let total = Enumerate.count_trees n in
+  let pieces = ref [] in
+  let step = 17 in
+  let lo = ref 0 in
+  while !lo < total do
+    Enumerate.trees_in n ~lo:!lo ~hi:(min total (!lo + step)) (fun g ->
+        pieces := g :: !pieces);
+    lo := !lo + step
+  done;
+  let pieces = List.rev !pieces in
+  check_int "same count" (List.length full) (List.length pieces);
+  List.iter2 (fun a b -> check_true "same tree, same order" (Graph.equal a b)) full pieces
+
+let test_connected_graphs_in_ranges_cover () =
+  let n = 4 in
+  let full = ref [] in
+  Enumerate.connected_graphs n (fun g -> full := g :: !full);
+  let full = List.rev !full in
+  let total = Enumerate.graph_mask_count n in
+  let mid = total / 3 in
+  let pieces = ref [] in
+  List.iter
+    (fun (lo, hi) ->
+      Enumerate.connected_graphs_in n ~lo ~hi (fun g -> pieces := g :: !pieces))
+    [ (0, mid); (mid, total) ];
+  let pieces = List.rev !pieces in
+  check_int "same count" (List.length full) (List.length pieces);
+  List.iter2 (fun a b -> check_true "same graph, same order" (Graph.equal a b)) full pieces
+
 let suite =
   [
     case "all graph counts" test_counts_all_graphs;
+    case "tree rank ranges cover" test_trees_in_ranges_cover;
+    case "connected mask ranges cover" test_connected_graphs_in_ranges_cover;
     case "connected counts (A001187)" test_counts_connected;
     case "connected graphs are connected" test_connected_really_connected;
     case "tree counts (Cayley)" test_tree_counts;
