@@ -5,7 +5,7 @@
 all: build
 
 build:
-	dune build
+	dune build @all
 
 test:
 	dune runtest

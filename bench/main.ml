@@ -273,8 +273,17 @@ let () =
   let json = json_target args in
   Option.iter check_writable json;
   print_endline "=== bncg benchmark harness ===\n";
-  let rows = run_benchmarks (substrate_tests @ parallel_tests @ experiment_tests) in
-  print_speedups rows;
+  (* BNCG_STATS: telemetry totals for the whole benchmark sweep. The
+     numbers aggregate every timed iteration, so they profile the harness
+     run, not a single kernel invocation. *)
+  let rows =
+    Exp_common.with_stats (fun () ->
+        let rows =
+          run_benchmarks (substrate_tests @ parallel_tests @ experiment_tests)
+        in
+        print_speedups rows;
+        rows)
+  in
   Option.iter (fun path -> write_json path rows) json;
   if not quick then begin
     print_endline "\n=== experiment tables (one per paper theorem/figure) ===\n";

@@ -55,6 +55,48 @@ let with_jobs jobs f =
 let decode_graph s =
   try Ok (Graph6.decode s) with Invalid_argument msg -> Error msg
 
+(* --- telemetry plumbing ------------------------------------------------- *)
+
+let stats_arg =
+  let doc =
+    "Enable the telemetry layer and print a sorted metric table (counters, \
+     gauges, span timers) after the run."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let stats_json_arg =
+  let doc =
+    "Enable the telemetry layer and write the metrics to $(docv) as a JSON \
+     array of {name, kind, value} rows (same row discipline as bench --json)."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
+(* fail before the (long) run, not after it — the bench --json pattern *)
+let stats_json_writable path =
+  match open_out path with
+  | oc ->
+    close_out oc;
+    Ok ()
+  | exception Sys_error msg ->
+    Error (Printf.sprintf "cannot write --stats-json target: %s" msg)
+
+let with_stats stats stats_json f =
+  if not (stats || stats_json <> None) then f ()
+  else begin
+    let writable =
+      match stats_json with Some p -> stats_json_writable p | None -> Ok ()
+    in
+    match writable with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+      Telemetry.reset ();
+      Telemetry.set_enabled true;
+      let r = f () in
+      if stats then Telemetry.print_report ();
+      Option.iter Telemetry.write_json stats_json;
+      r
+  end
+
 (* --- generate ----------------------------------------------------------- *)
 
 let generate_families =
@@ -152,10 +194,11 @@ let info_cmd =
 
 (* --- check ---------------------------------------------------------------- *)
 
-let check version jobs g6 =
+let check version jobs stats stats_json g6 =
   match decode_graph g6 with
   | Error msg -> `Error (false, msg)
   | Ok g ->
+    with_stats stats stats_json @@ fun () ->
     with_jobs jobs @@ fun pool ->
     let verdict =
       match version with
@@ -181,11 +224,12 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Check whether a graph is a swap equilibrium")
-    Term.(ret (const check $ version $ jobs_arg $ graph6_arg))
+    Term.(ret (const check $ version $ jobs_arg $ stats_arg $ stats_json_arg $ graph6_arg))
 
 (* --- dynamics --------------------------------------------------------------- *)
 
-let dynamics version n init seed max_rounds trace =
+let dynamics version n init seed max_rounds trace stats stats_json =
+  with_stats stats stats_json @@ fun () ->
   let rng = Prng.create seed in
   let g =
     match init with
@@ -236,11 +280,15 @@ let dynamics_cmd =
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the move-by-move trace.") in
   Cmd.v
     (Cmd.info "dynamics" ~doc:"Run best-response swap dynamics to equilibrium")
-    Term.(ret (const dynamics $ version $ n $ init $ seed $ rounds $ trace))
+    Term.(
+      ret
+        (const dynamics $ version $ n $ init $ seed $ rounds $ trace $ stats_arg
+       $ stats_json_arg))
 
 (* --- census --------------------------------------------------------------- *)
 
-let census version n trees jobs =
+let census version n trees jobs stats stats_json =
+  with_stats stats stats_json @@ fun () ->
   with_jobs jobs @@ fun pool ->
   if trees then begin
     let c = Census.tree_census ~pool version n in
@@ -273,12 +321,14 @@ let census_cmd =
   in
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Vertex count (graphs <= 8, trees <= 10).") in
   let trees = Arg.(value & flag & info [ "trees" ] ~doc:"Census over trees instead of all connected graphs.") in
-  let run version n trees jobs =
-    try census version n trees jobs with Invalid_argument msg -> `Error (false, msg)
+  let run version n trees jobs stats stats_json =
+    try census version n trees jobs stats stats_json
+    with Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "census" ~doc:"Exhaustively classify equilibria on small vertex counts")
-    Term.(ret (const run $ version $ n $ trees $ jobs_arg))
+    Term.(
+      ret (const run $ version $ n $ trees $ jobs_arg $ stats_arg $ stats_json_arg))
 
 (* --- experiment -------------------------------------------------------------- *)
 
@@ -306,7 +356,8 @@ let experiment id list_only =
     | Some id -> (
       match Experiments.find id with
       | Some e ->
-        e.Experiments.run ();
+        (* run_one honors BNCG_STATS like the bulk runners *)
+        Experiments.run_one e;
         `Ok ()
       | None -> `Error (false, Printf.sprintf "unknown experiment %S (try --list)" id))
 
@@ -321,7 +372,8 @@ let experiment_cmd =
 
 (* --- hunt ---------------------------------------------------------------- *)
 
-let hunt n target_diameter steps seed game =
+let hunt n target_diameter steps seed game stats stats_json =
+  with_stats stats stats_json @@ fun () ->
   let rng = Prng.create seed in
   let cfg = { (Hunt.default_config ~version:game ~n ~target_diameter ()) with Hunt.steps } in
   let r = Hunt.run rng cfg in
@@ -347,7 +399,8 @@ let hunt_cmd =
   in
   Cmd.v
     (Cmd.info "hunt" ~doc:"Search for high-diameter equilibria by simulated annealing")
-    Term.(ret (const hunt $ n $ target $ steps $ seed $ game))
+    Term.(
+      ret (const hunt $ n $ target $ steps $ seed $ game $ stats_arg $ stats_json_arg))
 
 (* --- audit ---------------------------------------------------------------- *)
 

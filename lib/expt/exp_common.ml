@@ -13,6 +13,22 @@ let shared_pool = lazy (Pool.create ~jobs:(jobs ()) ())
 
 let pool () = Lazy.force shared_pool
 
+(* BNCG_STATS mirrors the CLI's --stats for the experiment harness and the
+   benchmark driver: any value except the usual falsey spellings turns the
+   telemetry layer on. *)
+let stats_enabled () =
+  match Sys.getenv_opt "BNCG_STATS" with
+  | None | Some "" | Some "0" | Some "false" | Some "no" -> false
+  | Some _ -> true
+
+let with_stats f =
+  if not (stats_enabled ()) then f ()
+  else begin
+    Telemetry.reset ();
+    Telemetry.set_enabled true;
+    Fun.protect ~finally:Telemetry.print_report f
+  end
+
 let diameter_cell g =
   match Metrics.diameter g with Some d -> string_of_int d | None -> "inf"
 

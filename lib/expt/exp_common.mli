@@ -9,6 +9,15 @@ val pool : unit -> Pool.t
     equilibrium / eccentricity kernels on. Created lazily on first use;
     lives for the remainder of the process. *)
 
+val stats_enabled : unit -> bool
+(** Whether [BNCG_STATS] requests telemetry ("", "0", "false" and "no"
+    count as off). *)
+
+val with_stats : (unit -> 'a) -> 'a
+(** When {!stats_enabled}, reset and enable {!Telemetry} around [f] and
+    print the sorted metric table afterwards (also on exceptions);
+    otherwise just run [f]. *)
+
 val diameter_cell : Graph.t -> string
 (** Diameter, or "inf" when disconnected. *)
 

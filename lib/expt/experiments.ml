@@ -203,18 +203,26 @@ let find id =
 let banner e =
   Printf.printf "### %s — %s\n### %s\n\n" e.id e.paper_item e.title
 
-let run_default () =
-  List.iter
-    (fun e ->
-      if not e.heavy then begin
-        banner e;
-        e.run ()
-      end)
-    all
-
-let run_everything () =
-  List.iter
-    (fun e ->
+(* every entry point honors BNCG_STATS via Exp_common.with_stats *)
+let run_one e =
+  Exp_common.with_stats (fun () ->
       banner e;
       e.run ())
-    all
+
+let run_default () =
+  Exp_common.with_stats (fun () ->
+      List.iter
+        (fun e ->
+          if not e.heavy then begin
+            banner e;
+            e.run ()
+          end)
+        all)
+
+let run_everything () =
+  Exp_common.with_stats (fun () ->
+      List.iter
+        (fun e ->
+          banner e;
+          e.run ())
+        all)

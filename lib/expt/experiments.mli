@@ -16,6 +16,11 @@ val all : t list
 val find : string -> t option
 (** Case-insensitive lookup by id. *)
 
+val run_one : t -> unit
+(** Banner plus tables for a single experiment. Like the bulk runners
+    below, honors [BNCG_STATS] (telemetry on, sorted metric table after
+    the run). *)
+
 val run_default : unit -> unit
 (** Every non-heavy experiment, in order. *)
 

@@ -1,5 +1,14 @@
 let unreachable = max_int / 4
 
+(* Counted once per [run], after the loop, from the queue cursors — the
+   inner neighbor loop stays untouched, so the instrumentation costs three
+   flat flag checks per BFS even when telemetry is on. *)
+let m_runs = Telemetry.counter "bfs.runs"
+
+let m_visits = Telemetry.counter "bfs.visits"
+
+let m_pushes = Telemetry.counter "bfs.frontier_pushes"
+
 type workspace = {
   capacity : int;
   queue : int array;
@@ -57,7 +66,10 @@ let run ws g src =
   ws.last_reached <- !tail;
   ws.last_sum <- !sum;
   ws.last_ecc <- !ecc;
-  ws.last_n <- n
+  ws.last_n <- n;
+  Telemetry.incr m_runs;
+  Telemetry.add m_visits !head;
+  Telemetry.add m_pushes !tail
 
 let dist ws v =
   if ws.stamp.(v) = ws.generation then ws.dist.(v) else unreachable

@@ -2,6 +2,12 @@ let max_graph_vertices = 8
 
 let max_tree_vertices = 10
 
+(* Sweep sizes are known up front, so each enumeration entry point records
+   its whole range with one [add] instead of a per-item increment. *)
+let m_ranks = Telemetry.counter "enumerate.ranks_decoded"
+
+let m_masks = Telemetry.counter "enumerate.masks_scanned"
+
 let pair_list n =
   let acc = ref [] in
   for v = n - 1 downto 0 do
@@ -31,6 +37,7 @@ let all_graphs n f =
   if n < 0 || n > max_graph_vertices then invalid_arg "Enumerate.all_graphs";
   let pairs = pair_list n in
   let total = 1 lsl Array.length pairs in
+  Telemetry.add m_masks total;
   for mask = 0 to total - 1 do
     f (graph_of_mask n pairs mask)
   done
@@ -41,6 +48,7 @@ let connected_graphs n f =
   else begin
     let pairs = pair_list n in
     let total = 1 lsl Array.length pairs in
+    Telemetry.add m_masks total;
     for mask = 0 to total - 1 do
       if connected_mask n pairs mask then f (graph_of_mask n pairs mask)
     done
@@ -64,13 +72,22 @@ let connected_graphs_in n ~lo ~hi f =
   end
   else begin
     let pairs = pair_list n in
+    Telemetry.add m_masks (hi - lo);
     for mask = lo to hi - 1 do
       if connected_mask n pairs mask then f (graph_of_mask n pairs mask)
     done
   end
 
+let count_trees n =
+  if n <= 2 then 1
+  else begin
+    let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+    pow n (n - 2)
+  end
+
 let trees n f =
   if n < 1 || n > max_tree_vertices then invalid_arg "Enumerate.trees";
+  Telemetry.add m_ranks (count_trees n);
   if n <= 2 then f (Random_graphs.tree_of_pruefer n [||])
   else begin
     let len = n - 2 in
@@ -94,17 +111,11 @@ let trees n f =
     done
   end
 
-let count_trees n =
-  if n <= 2 then 1
-  else begin
-    let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
-    pow n (n - 2)
-  end
-
 let trees_in n ~lo ~hi f =
   if n < 1 || n > max_tree_vertices then invalid_arg "Enumerate.trees_in";
   let total = count_trees n in
   if lo < 0 || hi > total || lo > hi then invalid_arg "Enumerate.trees_in";
+  Telemetry.add m_ranks (hi - lo);
   if n <= 2 then begin
     if lo = 0 && hi > 0 then f (Random_graphs.tree_of_pruefer n [||])
   end

@@ -1,3 +1,15 @@
+(* Shard spans cover one [fold ~lo ~hi] range each; the sequential census
+   is the single-shard case, so [census.shard.calls] doubles as the shard
+   count of the last run. Canonical hits are equilibria whose isomorphism
+   class was already represented inside the shard. *)
+let m_shard = Telemetry.span "census.shard"
+
+let m_trees = Telemetry.counter "census.trees_classified"
+
+let m_canon_hits = Telemetry.counter "census.canon_hits"
+
+let m_canon_misses = Telemetry.counter "census.canon_misses"
+
 type tree_census = {
   n : int;
   total : int;
@@ -60,6 +72,7 @@ let classify_tree version tally g =
     | None -> assert false
   in
   tally.t_total <- tally.t_total + 1;
+  Telemetry.incr m_trees;
   match version with
   | Usage_cost.Sum ->
     if Tree_eq.is_star g then record_eq g
@@ -102,13 +115,17 @@ let tree_census ?pool version n =
          odometer, so shards are independent and cover [0, n^(n-2)) *)
       Pool.fold_chunks pool ~n:(Enumerate.count_trees n)
         ~fold:(fun ~lo ~hi ->
+          let t0 = Telemetry.start () in
           let tally = fresh_tally () in
           Enumerate.trees_in n ~lo ~hi (classify_tree version tally);
+          Telemetry.stop m_shard t0;
           tally)
         ~reduce:merge_tally ~zero:(fresh_tally ())
     | _ ->
+      let t0 = Telemetry.start () in
       let tally = fresh_tally () in
       Enumerate.trees n (classify_tree version tally);
+      Telemetry.stop m_shard t0;
       tally
   in
   census_of_tally n tally
@@ -144,28 +161,36 @@ let graph_shard_of_range version n ~lo ~hi =
     | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium ?pool:None
     | Usage_cost.Max -> Equilibrium.is_max_equilibrium ?pool:None
   in
+  let t0 = Telemetry.start () in
   Enumerate.connected_graphs_in n ~lo ~hi (fun g ->
       incr connected;
       if is_eq g then begin
         incr labeled;
         let key = Canon.canonical_form g in
-        if not (Hashtbl.mem seen key) then begin
+        if Hashtbl.mem seen key then Telemetry.incr m_canon_hits
+        else begin
+          Telemetry.incr m_canon_misses;
           Hashtbl.add seen key ();
           reps := (key, g) :: !reps
         end
       end);
+  Telemetry.stop m_shard t0;
   { s_connected = !connected; s_labeled = !labeled; s_reps = List.rev !reps }
 
 let merge_shard a b =
   (* first-seen-wins per class; [a] precedes [b] in mask order. The rep
      lists are a handful of equilibrium classes, so the quadratic assoc
      scan is noise next to the enumeration itself. *)
+  let fresh =
+    List.filter (fun (k, _) -> not (List.mem_assoc k a.s_reps)) b.s_reps
+  in
+  (* representatives discovered independently in two shards are canonical
+     hits resolved at merge time rather than inside a shard *)
+  Telemetry.add m_canon_hits (List.length b.s_reps - List.length fresh);
   {
     s_connected = a.s_connected + b.s_connected;
     s_labeled = a.s_labeled + b.s_labeled;
-    s_reps =
-      a.s_reps
-      @ List.filter (fun (k, _) -> not (List.mem_assoc k a.s_reps)) b.s_reps;
+    s_reps = a.s_reps @ fresh;
   }
 
 let graph_census ?pool version n =

@@ -2,6 +2,12 @@ let log_src = Logs.Src.create "bncg.dynamics" ~doc:"best-response swap dynamics"
 
 module Log = (val Logs.src_log log_src)
 
+let m_runs = Telemetry.counter "dynamics.runs"
+
+let m_rounds = Telemetry.counter "dynamics.rounds"
+
+let m_moves = Telemetry.counter "dynamics.moves"
+
 type rule = Best_response | First_improving | Random_improving | Sampled of int
 
 type schedule = Round_robin | Random_agent
@@ -191,6 +197,9 @@ let run ?rng cfg g0 =
         | Cycled -> "cycled"
         | Round_limit -> "round limit")
         !rounds !moves);
+  Telemetry.incr m_runs;
+  Telemetry.add m_rounds !rounds;
+  Telemetry.add m_moves !moves;
   { final = g; outcome = !outcome; rounds = !rounds; moves = !moves; trace = List.rev !trace }
 
 let converge_sum ?rng ?max_rounds g =

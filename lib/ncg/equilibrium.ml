@@ -34,35 +34,60 @@ let agent_violation_max ws g v =
     None
   with Witness (mv, d) -> Some (mv, d)
 
+(* Agents whose move lists were scanned, early exits taken, and — as a
+   gauge — the actor index of the last violating move found. The span
+   wraps the whole verdict including the connectivity pre-check. Note the
+   parallel scan may probe a scheduling-dependent set of agents past the
+   witness, so [agents_scanned] is exact only on the sequential path. *)
+let m_agents = Telemetry.counter "equilibrium.agents_scanned"
+
+let m_early_exits = Telemetry.counter "equilibrium.early_exits"
+
+let m_violating_agent = Telemetry.gauge "equilibrium.violating_agent"
+
+let m_check = Telemetry.span "equilibrium.check"
+
 (* Fan the per-agent scans across the pool. Swap deltas apply and undo
    moves on the graph, so every domain works on its own [Graph.copy];
    [Pool.parallel_find] keeps the lowest-agent witness, matching the
    sequential scan order. *)
 let check_with ~agent_violation ?pool g =
-  if not (Components.is_connected g) then Disconnected
-  else begin
-    let n = Graph.n g in
-    let witness =
-      match pool with
-      | Some pool when Pool.jobs pool > 1 ->
-        Pool.parallel_find pool ~n
-          ~init:(fun () -> (Graph.copy g, Bfs.create_workspace n))
-          (fun (gc, ws) v -> agent_violation ws gc v)
-      | _ ->
-        let ws = Bfs.create_workspace n in
-        let rec scan v =
-          if v >= n then None
-          else
-            match agent_violation ws g v with
-            | Some _ as w -> w
-            | None -> scan (v + 1)
-        in
-        scan 0
-    in
-    match witness with
-    | Some (mv, d) -> Violation (mv, d)
-    | None -> Equilibrium
-  end
+  let t0 = Telemetry.start () in
+  let verdict =
+    if not (Components.is_connected g) then Disconnected
+    else begin
+      let n = Graph.n g in
+      let witness =
+        match pool with
+        | Some pool when Pool.jobs pool > 1 ->
+          Pool.parallel_find pool ~n
+            ~init:(fun () -> (Graph.copy g, Bfs.create_workspace n))
+            (fun (gc, ws) v ->
+              Telemetry.incr m_agents;
+              agent_violation ws gc v)
+        | _ ->
+          let ws = Bfs.create_workspace n in
+          let rec scan v =
+            if v >= n then None
+            else begin
+              Telemetry.incr m_agents;
+              match agent_violation ws g v with
+              | Some _ as w -> w
+              | None -> scan (v + 1)
+            end
+          in
+          scan 0
+      in
+      match witness with
+      | Some (mv, d) ->
+        Telemetry.incr m_early_exits;
+        Telemetry.set_gauge m_violating_agent (Swap.actor mv);
+        Violation (mv, d)
+      | None -> Equilibrium
+    end
+  in
+  Telemetry.stop m_check t0;
+  verdict
 
 let check_sum ?pool g = check_with ~agent_violation:agent_violation_sum ?pool g
 

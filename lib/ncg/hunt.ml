@@ -2,6 +2,12 @@ let log_src = Logs.Src.create "bncg.hunt" ~doc:"equilibrium search"
 
 module Log = (val Logs.src_log log_src)
 
+let m_steps = Telemetry.counter "hunt.steps"
+
+let m_restarts = Telemetry.counter "hunt.restarts"
+
+let m_candidates = Telemetry.counter "hunt.candidates_scored"
+
 type config = {
   version : Usage_cost.version;
   n : int;
@@ -105,6 +111,7 @@ let run rng cfg =
   in
   let restart = ref 0 in
   while !found = None && !restart < cfg.restarts do
+    Telemetry.incr m_restarts;
     (* seed state: a random connected graph with a longish backbone so the
        diameter constraint starts nearly satisfied *)
     let g =
@@ -153,8 +160,10 @@ let run rng cfg =
           end
         | Some _ | None -> ()))
     done;
+    Telemetry.add m_steps !step;
     incr restart
   done;
+  Telemetry.add m_candidates !evaluated;
   {
     found = !found;
     best_violations = (if !best_violations = max_int then -1 else !best_violations);

@@ -41,6 +41,10 @@ let delta ws version g mv =
   undo g mv;
   after - before
 
+let m_candidates = Telemetry.counter "swap.candidates"
+
+let m_pruned = Telemetry.counter "swap.pruned"
+
 let iter_moves ?(include_deletions = false) g v f =
   let n = Graph.n g in
   (* snapshot both the neighbor row and the non-neighbor set up front: the
@@ -50,6 +54,14 @@ let iter_moves ?(include_deletions = false) g v f =
   let neighbors = Graph.neighbors g v in
   let adjacent = Bitset.create n in
   Array.iter (fun w -> Bitset.add adjacent w) neighbors;
+  (* closed forms of what the loop below generates and what the bitset
+     prunes, so the per-candidate path carries no instrumentation: per
+     dropped edge there are n - 1 - deg swap targets and deg adjacent
+     candidates rejected by the membership test. *)
+  let deg = Array.length neighbors in
+  Telemetry.add m_candidates
+    ((deg * (n - 1 - deg)) + if include_deletions then deg else 0);
+  Telemetry.add m_pruned (deg * deg);
   Array.iter
     (fun drop ->
       if include_deletions then f (Delete { actor = v; drop });

@@ -18,6 +18,15 @@ type t = {
 
 let available_jobs () = Domain.recommended_domain_count ()
 
+(* regions launched, chunks claimed off the atomic counter, and per-worker
+   time spent inside a region (caller included). All updates are flat
+   no-ops while telemetry is disabled. *)
+let m_regions = Telemetry.counter "pool.regions"
+
+let m_tasks = Telemetry.counter "pool.tasks_dispatched"
+
+let m_busy = Telemetry.span "pool.busy"
+
 let jobs t = t.jobs
 
 (* Worker domains sleep between regions; [seen] is the last epoch this
@@ -84,11 +93,14 @@ let with_pool ?jobs f =
    leaving the pool reusable. *)
 let run_region pool (task : unit -> unit) =
   let exn_slot = Atomic.make None in
+  Telemetry.incr m_regions;
   let guarded () =
-    try task ()
-    with e ->
-      let bt = Printexc.get_raw_backtrace () in
-      ignore (Atomic.compare_and_set exn_slot None (Some (e, bt)))
+    let t0 = Telemetry.start () in
+    (try task ()
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       ignore (Atomic.compare_and_set exn_slot None (Some (e, bt))));
+    Telemetry.stop m_busy t0
   in
   if pool.jobs = 1 then guarded ()
   else begin
@@ -134,6 +146,7 @@ let parallel_for ?(chunk = 1) pool ~n ~init f =
           let rec claim () =
             let c = Atomic.fetch_and_add next 1 in
             if c < nchunks then begin
+              Telemetry.incr m_tasks;
               let lo = c * chunk and hi = min n ((c + 1) * chunk) in
               let st = Lazy.force st in
               for i = lo to hi - 1 do
@@ -175,6 +188,7 @@ let parallel_find ?(chunk = 1) pool ~n ~init f =
         let rec claim () =
           let c = Atomic.fetch_and_add next 1 in
           if c < nchunks && beats (c * chunk) then begin
+            Telemetry.incr m_tasks;
             let lo = c * chunk and hi = min n ((c + 1) * chunk) in
             let st = Lazy.force st in
             let i = ref lo in
@@ -206,6 +220,7 @@ let fold_chunks ?chunk pool ~n ~fold ~reduce ~zero =
     let partial = Array.make nchunks zero in
     if pool.jobs = 1 then
       for c = 0 to nchunks - 1 do
+        Telemetry.incr m_tasks;
         partial.(c) <- fold ~lo:(c * chunk) ~hi:(min n ((c + 1) * chunk))
       done
     else begin
@@ -214,6 +229,7 @@ let fold_chunks ?chunk pool ~n ~fold ~reduce ~zero =
           let rec claim () =
             let c = Atomic.fetch_and_add next 1 in
             if c < nchunks then begin
+              Telemetry.incr m_tasks;
               partial.(c) <- fold ~lo:(c * chunk) ~hi:(min n ((c + 1) * chunk));
               claim ()
             end
@@ -244,6 +260,7 @@ let parallel_reduce ?(chunk = 1) pool ~n ~init ~map ~reduce ~zero =
         let rec claim () =
           let c = Atomic.fetch_and_add next 1 in
           if c < nchunks then begin
+            Telemetry.incr m_tasks;
             let lo = c * chunk and hi = min n ((c + 1) * chunk) in
             let st = Lazy.force st in
             (* a one-element list per chunk keeps ['a] unconstrained (no

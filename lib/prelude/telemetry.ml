@@ -1,0 +1,193 @@
+(* The one flat guard: every update op reads this ref and bails before
+   touching atomics or the clock, so instrumented hot paths cost a load
+   and a branch when telemetry is off. *)
+let on = ref false
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+type kind = Counter | Gauge | Span | Histogram
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Span -> "span"
+  | Histogram -> "histogram"
+
+(* One record for all four kinds; the cell layout per kind is
+     counter    [| value |]
+     gauge      [| value |]
+     span       [| total_ns; calls |]
+     histogram  [| count; sum; bucket_0 .. bucket_(buckets-1) |]
+   The .mli exposes each kind as its own abstract type. *)
+type metric = { name : string; kind : kind; cells : int Atomic.t array }
+
+type counter = metric
+
+type gauge = metric
+
+type span = metric
+
+type histogram = metric
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let registry_lock = Mutex.create ()
+
+let register name kind size =
+  Mutex.lock registry_lock;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m when m.kind = kind -> m
+    | Some m ->
+      Mutex.unlock registry_lock;
+      invalid_arg
+        (Printf.sprintf "Telemetry: %S already registered as a %s" name
+           (kind_name m.kind))
+    | None ->
+      let m = { name; kind; cells = Array.init size (fun _ -> Atomic.make 0) } in
+      Hashtbl.add registry name m;
+      m
+  in
+  if m.kind = kind then Mutex.unlock registry_lock;
+  m
+
+let counter name = register name Counter 1
+
+let gauge name = register name Gauge 1
+
+let span name = register name Span 2
+
+let histogram_buckets = 48
+
+let histogram name = register name Histogram (2 + histogram_buckets)
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter
+    (fun _ m -> Array.iter (fun c -> Atomic.set c 0) m.cells)
+    registry;
+  Mutex.unlock registry_lock
+
+(* --- updates ------------------------------------------------------------ *)
+
+let incr c = if !on then Atomic.incr c.cells.(0)
+
+let add c k = if !on then ignore (Atomic.fetch_and_add c.cells.(0) k)
+
+let counter_value c = Atomic.get c.cells.(0)
+
+let set_gauge g v = if !on then Atomic.set g.cells.(0) v
+
+let gauge_value g = Atomic.get g.cells.(0)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let start () = if !on then now_ns () else 0
+
+let stop sp t0 =
+  if !on && t0 <> 0 then begin
+    ignore (Atomic.fetch_and_add sp.cells.(0) (now_ns () - t0));
+    Atomic.incr sp.cells.(1)
+  end
+
+let with_span sp f =
+  if not !on then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect ~finally:(fun () -> stop sp t0) f
+  end
+
+let span_ns sp = Atomic.get sp.cells.(0)
+
+let span_count sp = Atomic.get sp.cells.(1)
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 1 do
+      (* Stdlib.incr: the counter [incr] above shadows it *)
+      i := !i + 1;
+      v := !v lsr 1
+    done;
+    min !i (histogram_buckets - 1)
+  end
+
+let observe h v =
+  if !on then begin
+    Atomic.incr h.cells.(0);
+    ignore (Atomic.fetch_and_add h.cells.(1) v);
+    Atomic.incr h.cells.(2 + bucket_of v)
+  end
+
+let histogram_count h = Atomic.get h.cells.(0)
+
+let histogram_sum h = Atomic.get h.cells.(1)
+
+let histogram_bucket h i =
+  if i < 0 || i >= histogram_buckets then invalid_arg "Telemetry.histogram_bucket";
+  Atomic.get h.cells.(2 + i)
+
+(* --- reporting ---------------------------------------------------------- *)
+
+type row = { name : string; kind : string; value : int }
+
+let rows_of_metric m =
+  let cell i = Atomic.get m.cells.(i) in
+  match m.kind with
+  | Counter -> [ { name = m.name; kind = "counter"; value = cell 0 } ]
+  | Gauge -> [ { name = m.name; kind = "gauge"; value = cell 0 } ]
+  | Span ->
+    [
+      { name = m.name ^ ".ns"; kind = "span_ns"; value = cell 0 };
+      { name = m.name ^ ".calls"; kind = "span_calls"; value = cell 1 };
+    ]
+  | Histogram ->
+    let buckets = ref [] in
+    for i = histogram_buckets - 1 downto 0 do
+      let c = cell (2 + i) in
+      if c > 0 then
+        buckets :=
+          {
+            name = Printf.sprintf "%s.le_2^%d" m.name (i + 1);
+            kind = "histogram_bucket";
+            value = c;
+          }
+          :: !buckets
+    done;
+    { name = m.name ^ ".count"; kind = "histogram_count"; value = cell 0 }
+    :: { name = m.name ^ ".sum"; kind = "histogram_sum"; value = cell 1 }
+    :: !buckets
+
+let rows () =
+  Mutex.lock registry_lock;
+  let metrics = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.concat_map rows_of_metric metrics
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let print_report () =
+  let t =
+    Table.create ~title:"telemetry"
+      ~columns:[ ("metric", Table.Left); ("kind", Table.Left); ("value", Table.Right) ]
+  in
+  List.iter (fun r -> Table.add_row t [ r.name; r.kind; string_of_int r.value ]) (rows ());
+  Table.print t
+
+let write_json path =
+  let rows = rows () in
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      (* %S escaping is valid JSON for the ASCII metric names used here,
+         matching the bench harness's writer *)
+      Printf.fprintf oc "  {\"name\": %S, \"kind\": %S, \"value\": %d}%s\n"
+        r.name r.kind r.value
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc

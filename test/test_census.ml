@@ -30,6 +30,36 @@ let test_double_star_count_n6 () =
      C(4,2)=6 leaf splits / 2 for arm symmetry... the census says 90 *)
   check_int "n=6 double stars" 90 (Census.tree_census Usage_cost.Max 6).Census.double_stars
 
+(* Differential cross-check of the census against an independent brute
+   force: walk the whole Prüfer rank range with [trees_in] (no sharding,
+   no pool) and run the generic equilibrium checker on every tree. By
+   Theorem 1 the sum equilibria must be exactly the stars, and the tallies
+   must agree with [tree_census]'s shortcut-based classification. *)
+let brute_force_sum_census n =
+  let total = ref 0 and equilibria = ref 0 and stars = ref 0 in
+  Enumerate.trees_in n ~lo:0 ~hi:(Enumerate.count_trees n) (fun g ->
+      Stdlib.incr total;
+      let eq = Equilibrium.is_sum_equilibrium g in
+      let star = Tree_eq.is_star g in
+      check_bool "sum equilibrium iff star (Theorem 1)" star eq;
+      if eq then Stdlib.incr equilibria;
+      if star then Stdlib.incr stars);
+  (!total, !equilibria, !stars)
+
+let differential_sum_census n =
+  let total, equilibria, stars = brute_force_sum_census n in
+  let c = Census.tree_census Usage_cost.Sum n in
+  check_int "totals agree" total c.Census.total;
+  check_int "equilibria agree" equilibria c.Census.equilibria;
+  check_int "stars agree" stars c.Census.stars
+
+let test_differential_sum_census_small () =
+  for n = 2 to 6 do
+    differential_sum_census n
+  done
+
+let test_differential_sum_census_n7 () = differential_sum_census 7
+
 let test_graph_census_sum () =
   let c = Census.graph_census Usage_cost.Sum 4 in
   check_int "connected count" 38 c.Census.connected;
@@ -61,6 +91,10 @@ let suite =
     case "tree census sum (n <= 7)" test_tree_census_sum_small;
     case "tree census max (n <= 7)" test_tree_census_max_small;
     case "double star count n=6" test_double_star_count_n6;
+    case "differential sum census vs brute force (n <= 6)"
+      test_differential_sum_census_small;
+    slow_case "differential sum census vs brute force (n = 7)"
+      test_differential_sum_census_n7;
     case "graph census sum n=4" test_graph_census_sum;
     case "graph census max n=5" test_graph_census_max;
     slow_case "graph census max n=6 diameter 3" test_graph_census_max_diameter3_at_6;
