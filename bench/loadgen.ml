@@ -1,0 +1,320 @@
+(* Load generator for the serving layer: an in-process server on a temp
+   Unix socket, hammered by concurrent client threads over a workload
+   mix chosen to exercise both cache paths.
+
+     dune exec bench/loadgen.exe                      -- 10000 requests, 4 clients
+     dune exec bench/loadgen.exe -- --requests 1000 --clients 2
+     dune exec bench/loadgen.exe -- --malformed       -- mix in invalid lines
+     dune exec bench/loadgen.exe -- --json FILE       -- {benchmark, ns_per_run}
+                                                         rows, same shape as
+                                                         bench/main.exe
+
+   Workload classes, round-robin by request index:
+     check-star    sum-check of a star on 9 vertices with a rotating
+                   center — 9 distinct graph6 strings, one canonical
+                   form, so after 9 misses this class is all canonical
+                   cache hits
+     check-torus   max-check of the 3x3 torus, identical bytes every
+                   time — exact-key cache hits
+     info-path     info on the 8-path
+     ping          protocol floor
+     malformed     (only with --malformed) unparseable line; the server
+                   must answer a structured error and keep the
+                   connection alive
+
+   Exit status is 1 if any well-formed request got an error reply, a
+   mismatched id, or no reply at all — the acceptance gate for the
+   serving layer. *)
+
+let requests = ref 10_000
+
+let clients = ref 4
+
+let jobs = ref 2
+
+let malformed = ref false
+
+let json = ref None
+
+let () =
+  let rec scan = function
+    | [] -> ()
+    | "--requests" :: v :: rest ->
+      requests := int_of_string v;
+      scan rest
+    | "--clients" :: v :: rest ->
+      clients := int_of_string v;
+      scan rest
+    | "--jobs" :: v :: rest ->
+      jobs := int_of_string v;
+      scan rest
+    | "--malformed" :: rest ->
+      malformed := true;
+      scan rest
+    | "--json" :: path :: rest ->
+      json := Some path;
+      scan rest
+    | arg :: _ ->
+      Printf.eprintf
+        "loadgen: unknown argument %s (expected --requests N, --clients N, \
+         --jobs N, --malformed, --json FILE)\n"
+        arg;
+      exit 2
+  in
+  scan (List.tl (Array.to_list Sys.argv))
+
+(* fail before the run, not after it — same pattern as bench/main.exe *)
+let () =
+  match !json with
+  | None -> ()
+  | Some path -> (
+    match open_out path with
+    | oc -> close_out oc
+    | exception Sys_error msg ->
+      Printf.eprintf "loadgen: cannot write --json target: %s\n" msg;
+      exit 2)
+
+(* --- workload ------------------------------------------------------------ *)
+
+let star9_centered c =
+  let g = Graph.create 9 in
+  for v = 0 to 8 do
+    if v <> c then Graph.add_edge g c v
+  done;
+  Graph6.encode g
+
+let torus3_g6 = Graph6.encode (Constructions.torus 3)
+
+let path8_g6 = Graph6.encode (Generators.path 8)
+
+type cls = { name : string; well_formed : bool; request : id:int -> int -> string }
+
+let obj fields = Jsonx.to_string (Jsonx.Obj fields)
+
+let check_req ~id game g6 =
+  obj
+    [
+      ("id", Jsonx.Int id);
+      ("method", Jsonx.Str "check");
+      ( "params",
+        Jsonx.Obj [ ("game", Jsonx.Str game); ("graph6", Jsonx.Str g6) ] );
+    ]
+
+let classes =
+  [
+    {
+      name = "check-star";
+      well_formed = true;
+      request = (fun ~id i -> check_req ~id "sum" (star9_centered (i mod 9)));
+    };
+    {
+      name = "check-torus";
+      well_formed = true;
+      request = (fun ~id _ -> check_req ~id "max" torus3_g6);
+    };
+    {
+      name = "info-path";
+      well_formed = true;
+      request =
+        (fun ~id _ ->
+          obj
+            [
+              ("id", Jsonx.Int id);
+              ("method", Jsonx.Str "info");
+              ("params", Jsonx.Obj [ ("graph6", Jsonx.Str path8_g6) ]);
+            ]);
+    };
+    {
+      name = "ping";
+      well_formed = true;
+      request =
+        (fun ~id _ -> obj [ ("id", Jsonx.Int id); ("method", Jsonx.Str "ping") ]);
+    };
+  ]
+  @
+  if !malformed then
+    [
+      {
+        name = "malformed";
+        well_formed = false;
+        request =
+          (fun ~id:_ i ->
+            match i mod 3 with
+            | 0 -> "this is not json"
+            | 1 -> "{\"method\":42}"
+            | _ -> "{\"method\":\"no-such-method\"}");
+      };
+    ]
+  else []
+
+let n_classes = List.length classes
+
+let class_of i = List.nth classes (i mod n_classes)
+
+(* --- measurement --------------------------------------------------------- *)
+
+type tally = {
+  mutable count : int;
+  mutable total_ns : float;
+  mutable max_ns : float;
+  mutable errors : int; (* well-formed requests answered ok:false *)
+  mutable bad : int; (* wrong id, unparseable reply, transport failure *)
+}
+
+let fresh_tally () =
+  { count = 0; total_ns = 0.0; max_ns = 0.0; errors = 0; bad = 0 }
+
+(* a malformed request may omit the id, so only well-formed classes can
+   demand the echo matches *)
+let response_ok ~well_formed id line =
+  match Jsonx.parse line with
+  | Error _ -> `Bad
+  | Ok r ->
+    if well_formed && Jsonx.member "id" r <> Some (Jsonx.Int id) then `Bad
+    else if Jsonx.member "ok" r = Some (Jsonx.Bool true) then `Ok
+    else `Err
+
+let client_thread addr lo hi tallies =
+  Serve.with_client addr @@ fun c ->
+  for i = lo to hi - 1 do
+    let cls = class_of i in
+    let t = tallies.(i mod n_classes) in
+    let line = cls.request ~id:i i in
+    let t0 = Unix.gettimeofday () in
+    match Serve.call c line with
+    | reply ->
+      let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      t.count <- t.count + 1;
+      t.total_ns <- t.total_ns +. ns;
+      if ns > t.max_ns then t.max_ns <- ns;
+      (match (response_ok ~well_formed:cls.well_formed i reply, cls.well_formed) with
+      | `Ok, true -> ()
+      | `Err, false -> () (* malformed lines are supposed to get errors *)
+      | `Err, true -> t.errors <- t.errors + 1
+      | `Ok, false -> t.bad <- t.bad + 1
+      | `Bad, _ -> t.bad <- t.bad + 1)
+    | exception e ->
+      t.count <- t.count + 1;
+      t.bad <- t.bad + 1;
+      Printf.eprintf "loadgen: request %d died: %s\n" i (Printexc.to_string e)
+  done
+
+(* --- run ----------------------------------------------------------------- *)
+
+let () =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bncg-loadgen-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      Serve.default_config with
+      Serve.addresses = [ Serve.Unix_sock sock ];
+      jobs = !jobs;
+    }
+  in
+  let srv = Serve.start cfg in
+  let addr = List.hd (Serve.bound_addresses srv) in
+  let n = !requests and c = max 1 !clients in
+  Printf.printf "loadgen: %d requests, %d clients, %d pool jobs, %d classes\n%!"
+    n c !jobs n_classes;
+  (* per-thread tallies, merged after join: no cross-thread mutation *)
+  let per_thread = Array.init c (fun _ -> Array.init n_classes (fun _ -> fresh_tally ())) in
+  let wall0 = Unix.gettimeofday () in
+  let threads =
+    List.init c (fun t ->
+        let lo = t * n / c and hi = (t + 1) * n / c in
+        Thread.create (fun () -> client_thread addr lo hi per_thread.(t)) ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. wall0 in
+  (* cache stats from the server itself, before shutdown *)
+  let stats_line =
+    Serve.with_client addr (fun cl ->
+        Serve.call cl "{\"id\":\"stats\",\"method\":\"stats\"}")
+  in
+  Serve.stop srv;
+  let merged = Array.init n_classes (fun _ -> fresh_tally ()) in
+  Array.iter
+    (fun ts ->
+      Array.iteri
+        (fun k t ->
+          merged.(k).count <- merged.(k).count + t.count;
+          merged.(k).total_ns <- merged.(k).total_ns +. t.total_ns;
+          if t.max_ns > merged.(k).max_ns then merged.(k).max_ns <- t.max_ns;
+          merged.(k).errors <- merged.(k).errors + t.errors;
+          merged.(k).bad <- merged.(k).bad + t.bad)
+        ts)
+    per_thread;
+  Printf.printf "\n%-12s %10s %14s %14s %7s %5s\n" "class" "requests"
+    "mean ns" "max ns" "errors" "bad";
+  List.iteri
+    (fun k cls ->
+      let t = merged.(k) in
+      Printf.printf "%-12s %10d %14.0f %14.0f %7d %5d\n" cls.name t.count
+        (if t.count = 0 then 0.0 else t.total_ns /. float_of_int t.count)
+        t.max_ns t.errors t.bad)
+    classes;
+  let hits, misses =
+    match Jsonx.parse stats_line with
+    | Ok r -> (
+      match Option.bind (Jsonx.member "result" r) (Jsonx.member "cache") with
+      | Some cache ->
+        ( Option.value ~default:(-1)
+            (Option.bind (Jsonx.member "hits" cache) Jsonx.to_int),
+          Option.value ~default:(-1)
+            (Option.bind (Jsonx.member "misses" cache) Jsonx.to_int) )
+      | None -> (-1, -1))
+    | Error _ -> (-1, -1)
+  in
+  let total = Array.fold_left (fun a t -> a + t.count) 0 merged in
+  let errors = Array.fold_left (fun a t -> a + t.errors) 0 merged in
+  let bad = Array.fold_left (fun a t -> a + t.bad) 0 merged in
+  Printf.printf
+    "\ntotal: %d requests in %.2f s (%.0f req/s); cache hits %d, misses %d\n"
+    total wall
+    (float_of_int total /. wall)
+    hits misses;
+  (match !json with
+  | None -> ()
+  | Some path ->
+    let rows =
+      List.mapi
+        (fun k cls ->
+          ( "serve-loadgen/" ^ cls.name,
+            if merged.(k).count = 0 then Float.nan
+            else merged.(k).total_ns /. float_of_int merged.(k).count ))
+        classes
+      @ [ ("serve-loadgen/wall-per-request", wall *. 1e9 /. float_of_int (max 1 total)) ]
+    in
+    let oc = open_out path in
+    output_string oc "[\n";
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i (name, ns) ->
+        let value =
+          if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns
+        in
+        Printf.fprintf oc "  {\"benchmark\": %S, \"ns_per_run\": %s}%s\n" name
+          value
+          (if i = last then "" else ","))
+      rows;
+    output_string oc "]\n";
+    close_out oc;
+    Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path);
+  if total <> n then begin
+    Printf.eprintf "loadgen: sent %d requests but tallied %d\n" n total;
+    exit 1
+  end;
+  if errors > 0 || bad > 0 then begin
+    Printf.eprintf
+      "loadgen: FAILED — %d well-formed requests errored, %d bad replies\n"
+      errors bad;
+    exit 1
+  end;
+  if hits <= 0 then begin
+    Printf.eprintf "loadgen: FAILED — expected cache hits > 0, server reports %d\n" hits;
+    exit 1
+  end;
+  print_endline "loadgen: OK"

@@ -52,8 +52,7 @@ let with_jobs jobs f =
     Pool.with_pool ~jobs f
   end
 
-let decode_graph s =
-  try Ok (Graph6.decode s) with Invalid_argument msg -> Error msg
+let decode_graph = Graph6.decode_result
 
 (* --- telemetry plumbing ------------------------------------------------- *)
 
@@ -434,6 +433,189 @@ let audit_cmd =
     (Cmd.info "audit" ~doc:"Run the lemma audit and structural profile on a graph")
     Term.(ret (const audit $ graph6_arg))
 
+(* --- serve / call --------------------------------------------------------- *)
+
+(* "unix:PATH" or "tcp:HOST:PORT"; the shared address syntax of
+   bncg serve --listen and bncg call --addr *)
+let address_conv =
+  let parse s =
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "unix" && String.length s > i + 1 ->
+      Ok (Serve.Unix_sock (String.sub s (i + 1) (String.length s - i - 1)))
+    | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        let host = if host = "" then "127.0.0.1" else host in
+        match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
+        | Some port when port >= 0 && port < 65536 -> Ok (Serve.Tcp (host, port))
+        | _ -> Error (`Msg (Printf.sprintf "bad port in %S" s)))
+      | None -> Error (`Msg (Printf.sprintf "expected tcp:HOST:PORT, got %S" s)))
+    | _ ->
+      Error
+        (`Msg (Printf.sprintf "expected unix:PATH or tcp:HOST:PORT, got %S" s))
+  in
+  Arg.conv (parse, Serve.pp_address)
+
+let serve listen jobs cache max_bytes max_vertices slice timeout stats stats_json =
+  if listen = [] then
+    `Error (false, "at least one --listen address is required")
+  else
+    with_stats stats stats_json @@ fun () ->
+    let cfg =
+      {
+        Serve.addresses = listen;
+        jobs;
+        cache_capacity = cache;
+        max_request_bytes = max_bytes;
+        max_graph_vertices = max_vertices;
+        census_slice = slice;
+        request_timeout = timeout;
+      }
+    in
+    match
+      Serve.run cfg ~on_ready:(fun srv ->
+          List.iter
+            (fun a -> Printf.printf "listening on %s\n" (Format.asprintf "%a" Serve.pp_address a))
+            (Serve.bound_addresses srv);
+          print_string "ready\n";
+          flush stdout)
+    with
+    | () -> `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | exception Unix.Unix_error (e, fn, arg) ->
+      `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+
+let serve_cmd =
+  let listen =
+    let doc =
+      "Address to listen on: $(b,unix:PATH) or $(b,tcp:HOST:PORT) (port 0 \
+       picks an ephemeral port, printed on startup). Repeatable."
+    in
+    Arg.(value & opt_all address_conv [] & info [ "l"; "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let cache =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.cache_capacity
+      & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (entries).")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"N" ~doc:"Reject request lines longer than $(docv).")
+  in
+  let max_vertices =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.max_graph_vertices
+      & info [ "max-vertices" ] ~docv:"N" ~doc:"Reject info/check graphs with more than $(docv) vertices.")
+  in
+  let slice =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.census_slice
+      & info [ "census-slice" ] ~docv:"N" ~doc:"Census ranks per request-deadline check.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float Serve.default_config.Serve.request_timeout
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request cooperative deadline.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the batching RPC server (newline-delimited JSON over unix/tcp sockets)")
+    Term.(
+      ret
+        (const serve $ listen $ jobs_arg $ cache $ max_bytes $ max_vertices
+       $ slice $ timeout $ stats_arg $ stats_json_arg))
+
+let call addr timeout meth game g6 kind n lo hi raw =
+  let request =
+    match raw with
+    | Some line -> Ok line
+    | None -> (
+      match meth with
+      | None -> Error "METHOD is required (or use --raw)"
+      | Some meth ->
+        let params =
+          List.filter_map
+            (fun x -> x)
+            [
+              Option.map (fun v ->
+                  ("game", Jsonx.Str (Usage_cost.version_name v)))
+                game;
+              Option.map (fun s -> ("graph6", Jsonx.Str s)) g6;
+              Option.map (fun s -> ("kind", Jsonx.Str s)) kind;
+              Option.map (fun i -> ("n", Jsonx.Int i)) n;
+              Option.map (fun i -> ("lo", Jsonx.Int i)) lo;
+              Option.map (fun i -> ("hi", Jsonx.Int i)) hi;
+            ]
+        in
+        Ok
+          (Jsonx.to_string
+             (Jsonx.Obj
+                (("id", Jsonx.Int 0) :: ("method", Jsonx.Str meth)
+                :: (if params = [] then [] else [ ("params", Jsonx.Obj params) ])))))
+  in
+  match request with
+  | Error msg -> `Error (false, msg)
+  | Ok line -> (
+    match Serve.with_client ~timeout addr (fun c -> Serve.call c line) with
+    | response ->
+      print_endline response;
+      let ok =
+        match Jsonx.parse response with
+        | Ok r -> Jsonx.member "ok" r = Some (Jsonx.Bool true)
+        | Error _ -> false
+      in
+      if ok then `Ok () else `Error (false, "server returned an error")
+    | exception Failure msg -> `Error (false, msg)
+    | exception Unix.Unix_error (e, fn, arg) ->
+      `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+
+let call_cmd =
+  let addr =
+    let doc = "Server address: $(b,unix:PATH) or $(b,tcp:HOST:PORT)." in
+    Arg.(required & opt (some address_conv) None & info [ "a"; "addr" ] ~docv:"ADDR" ~doc)
+  in
+  let timeout =
+    Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Reply timeout.")
+  in
+  let meth =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"METHOD" ~doc:"ping, stats, info, check, or census-shard.")
+  in
+  let game =
+    Arg.(value & opt (some version_conv) None & info [ "game" ] ~doc:"sum or max.")
+  in
+  let g6 =
+    Arg.(value & opt (some string) None & info [ "graph6" ] ~docv:"GRAPH6" ~doc:"Graph for info/check.")
+  in
+  let kind =
+    Arg.(value & opt (some string) None & info [ "kind" ] ~doc:"Census kind: trees or graphs.")
+  in
+  let n = Arg.(value & opt (some int) None & info [ "n" ] ~doc:"Census vertex count.") in
+  let lo = Arg.(value & opt (some int) None & info [ "lo" ] ~doc:"Census shard start rank.") in
+  let hi = Arg.(value & opt (some int) None & info [ "hi" ] ~doc:"Census shard end rank.") in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"LINE" ~doc:"Send $(docv) verbatim instead of building a request.")
+  in
+  Cmd.v
+    (Cmd.info "call" ~doc:"Send one request to a running bncg serve and print the reply")
+    Term.(
+      ret
+        (const call $ addr $ timeout $ meth $ game $ g6 $ kind $ n $ lo $ hi
+       $ raw))
+
 (* --- main ---------------------------------------------------------------- *)
 
 let () =
@@ -452,4 +634,6 @@ let () =
             experiment_cmd;
             hunt_cmd;
             audit_cmd;
+            serve_cmd;
+            call_cmd;
           ]))

@@ -54,11 +54,14 @@ let decode s =
       ((byte 1 lsl 12) lor (byte 2 lsl 6) lor byte 3), 4
     else byte 0, 1
   in
-  let g = Graph.create n in
+  (* length check before [Graph.create]: the header is the only part an
+     adversarial input controls for free, and a forged huge n must not
+     provoke an O(n) allocation when the body cannot possibly match *)
   let bit_count = n * (n - 1) / 2 in
   let expected_groups = (bit_count + 5) / 6 in
   if len - start <> expected_groups then
     invalid_arg "Graph6.decode: wrong length";
+  let g = Graph.create n in
   let bit k =
     let grp = byte (start + (k / 6)) in
     (grp lsr (5 - (k mod 6))) land 1
@@ -71,3 +74,14 @@ let decode s =
     done
   done;
   g
+
+(* Total boundary for untrusted input (CLI arguments, server requests).
+   [decode] raises only [Invalid_argument] — its own checks plus
+   [Graph.create] on a negative count, which the 6-bit header makes
+   unreachable — but the catch is deliberately broad so no malformed
+   string can ever escape as an exception. *)
+let decode_result s =
+  match decode s with
+  | g -> Ok g
+  | exception Invalid_argument msg -> Error msg
+  | exception Failure msg -> Error ("Graph6.decode: " ^ msg)

@@ -9,3 +9,9 @@ val encode : Graph.t -> string
 
 val decode : string -> Graph.t
 (** @raise Invalid_argument on malformed input. *)
+
+val decode_result : string -> (Graph.t, string) result
+(** Total variant for untrusted input (CLI arguments, the serving layer):
+    no exception escapes, malformed strings come back as [Error msg]. The
+    length check runs before any graph allocation, so a forged extended
+    header cannot provoke a large allocation. *)

@@ -130,6 +130,28 @@ let tree_census ?pool version n =
   in
   census_of_tally n tally
 
+let tree_census_in version n ~lo ~hi =
+  let total = Enumerate.count_trees n in
+  if lo < 0 || hi > total || lo > hi then
+    invalid_arg "Census.tree_census_in: bad rank range";
+  let t0 = Telemetry.start () in
+  let tally = fresh_tally () in
+  Enumerate.trees_in n ~lo ~hi (classify_tree version tally);
+  Telemetry.stop m_shard t0;
+  census_of_tally n tally
+
+let merge_tree_census a b =
+  if a.n <> b.n then invalid_arg "Census.merge_tree_census: different n";
+  {
+    n = a.n;
+    total = a.total + b.total;
+    equilibria = a.equilibria + b.equilibria;
+    stars = a.stars + b.stars;
+    double_stars = a.double_stars + b.double_stars;
+    max_eq_diameter = max a.max_eq_diameter b.max_eq_diameter;
+    witnesses_verified = a.witnesses_verified + b.witnesses_verified;
+  }
+
 type graph_census = {
   n : int;
   connected : int;
@@ -193,16 +215,7 @@ let merge_shard a b =
     s_reps = a.s_reps @ fresh;
   }
 
-let graph_census ?pool version n =
-  let total = Enumerate.graph_mask_count n in
-  let shard =
-    match pool with
-    | Some pool when Pool.jobs pool > 1 ->
-      Pool.fold_chunks pool ~n:total
-        ~fold:(fun ~lo ~hi -> graph_shard_of_range version n ~lo ~hi)
-        ~reduce:merge_shard ~zero:empty_shard
-    | _ -> graph_shard_of_range version n ~lo:0 ~hi:total
-  in
+let census_of_graph_shard n shard =
   let iso = List.map snd shard.s_reps in
   let diams =
     List.map
@@ -217,3 +230,43 @@ let graph_census ?pool version n =
     diameter_histogram = Stats.histogram (Array.of_list diams);
     max_diameter = List.fold_left max 0 diams;
   }
+
+let graph_census ?pool version n =
+  let total = Enumerate.graph_mask_count n in
+  let shard =
+    match pool with
+    | Some pool when Pool.jobs pool > 1 ->
+      Pool.fold_chunks pool ~n:total
+        ~fold:(fun ~lo ~hi -> graph_shard_of_range version n ~lo ~hi)
+        ~reduce:merge_shard ~zero:empty_shard
+    | _ -> graph_shard_of_range version n ~lo:0 ~hi:total
+  in
+  census_of_graph_shard n shard
+
+let graph_census_in version n ~lo ~hi =
+  let total = Enumerate.graph_mask_count n in
+  if lo < 0 || hi > total || lo > hi then
+    invalid_arg "Census.graph_census_in: bad mask range";
+  census_of_graph_shard n (graph_shard_of_range version n ~lo ~hi)
+
+let merge_graph_census a b =
+  (* the serving layer splits a requested shard into deadline-checked
+     sub-ranges; merging re-deduplicates representatives by canonical
+     form, first-seen (= lowest mask, [a] before [b]) wins — the same
+     discipline as the parallel census merge *)
+  if a.n <> b.n then invalid_arg "Census.merge_graph_census: different n";
+  let key g = Canon.canonical_form g in
+  let a_keys = List.map key a.equilibria_iso in
+  let fresh =
+    List.filter (fun g -> not (List.mem (key g) a_keys)) b.equilibria_iso
+  in
+  let shard =
+    {
+      s_connected = a.connected + b.connected;
+      s_labeled = a.equilibria_labeled + b.equilibria_labeled;
+      s_reps =
+        List.map (fun g -> (key g, g)) a.equilibria_iso
+        @ List.map (fun g -> (key g, g)) fresh;
+    }
+  in
+  census_of_graph_shard a.n shard

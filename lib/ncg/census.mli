@@ -37,9 +37,32 @@ type graph_census = {
   max_diameter : int;
 }
 
+val tree_census_in : Usage_cost.version -> int -> lo:int -> hi:int -> tree_census
+(** One shard of the tree census: only the trees of Prüfer rank
+    [lo .. hi - 1] (see {!Enumerate.trees_in}). [total] counts the trees
+    in the range. Disjoint adjacent shards merged with
+    {!merge_tree_census} equal the full census — this is the unit of work
+    of the serving layer's [census-shard] method.
+    @raise Invalid_argument unless [0 <= lo <= hi <= n^(n-2)]. *)
+
+val merge_tree_census : tree_census -> tree_census -> tree_census
+(** Counts add, [max_eq_diameter] maxes. Requires equal [n]. *)
+
 val graph_census : ?pool:Pool.t -> Usage_cost.version -> int -> graph_census
 (** Exhaustive over all connected labeled graphs on [n] vertices
     (n <= {!Enumerate.max_graph_vertices}; n = 7 takes minutes
     sequentially). With [?pool] the edge-subset mask space is sharded
     across domains; counts, representatives (first of each class in mask
     order) and histogram equal the sequential results. *)
+
+val graph_census_in : Usage_cost.version -> int -> lo:int -> hi:int -> graph_census
+(** One shard of the graph census: only the connected graphs whose
+    edge-subset mask lies in [[lo, hi)] (see
+    {!Enumerate.connected_graphs_in}). [connected] counts the connected
+    graphs in the range. @raise Invalid_argument unless
+    [0 <= lo <= hi <= 2^(n(n-1)/2)]. *)
+
+val merge_graph_census : graph_census -> graph_census -> graph_census
+(** Counts add; representatives are re-deduplicated by canonical form
+    with the lower-mask shard winning, so folding disjoint adjacent
+    shards in order reproduces the full census. Requires equal [n]. *)

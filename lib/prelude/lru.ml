@@ -1,0 +1,114 @@
+(* Hashtable + intrusive doubly-linked recency list. The list is circular
+   through a sentinel node: sentinel.next is most-recently-used,
+   sentinel.prev least-recently-used, so promotion and eviction are
+   pointer splices with no option juggling on the hot path. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node;
+  mutable next : ('k, 'v) node;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable sentinel : ('k, 'v) node option;
+      (* allocated lazily on first insert: a sentinel needs a key/value of
+         the right type, and the first inserted entry supplies them *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+  {
+    cap = capacity;
+    table = Hashtbl.create (min capacity 64);
+    sentinel = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev
+
+(* splice [node] right after the sentinel: most-recently-used position *)
+let push_front s node =
+  node.prev <- s;
+  node.next <- s.next;
+  s.next.prev <- node;
+  s.next <- node
+
+let promote t node =
+  match t.sentinel with
+  | None -> assert false
+  | Some s ->
+    unlink node;
+    push_front s node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    t.hits <- t.hits + 1;
+    promote t node;
+    Some node.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let mem t k = Hashtbl.mem t.table k
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    node.value <- v;
+    promote t node
+  | None ->
+    let s =
+      match t.sentinel with
+      | Some s -> s
+      | None ->
+        let rec s = { key = k; value = v; prev = s; next = s } in
+        t.sentinel <- Some s;
+        s
+    in
+    if Hashtbl.length t.table >= t.cap then begin
+      let lru = s.prev in
+      (* capacity >= 1 and the table is non-empty, so lru <> s *)
+      unlink lru;
+      Hashtbl.remove t.table lru.key
+    end;
+    let rec node = { key = k; value = v; prev = node; next = node } in
+    push_front s node;
+    Hashtbl.add t.table k node
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+    unlink node;
+    Hashtbl.remove t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.sentinel <- None
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let to_list t =
+  match t.sentinel with
+  | None -> []
+  | Some s ->
+    let rec walk node acc =
+      if node == s then List.rev acc
+      else walk node.next ((node.key, node.value) :: acc)
+    in
+    walk s.next []

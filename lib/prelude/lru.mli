@@ -1,0 +1,49 @@
+(** Bounded least-recently-used cache.
+
+    The serving layer deduplicates equilibrium checks by canonical graph
+    form; this is its eviction policy, kept standalone so the policy is
+    testable in isolation (and reusable by any other memoizing layer).
+
+    Implementation is the classical hashtable + doubly-linked recency
+    list: every operation is O(1) amortized. {!find} counts a hit or a
+    miss and {e promotes} the entry to most-recently-used; {!add} on an
+    existing key replaces the value (also promoting); inserting past
+    capacity evicts the least-recently-used entry.
+
+    Not thread-safe — callers running concurrent lookups (the server)
+    wrap it in their own mutex. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [create ~capacity] is an empty cache holding at most [capacity]
+    entries. @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a [Some] promotes the entry to most-recently-used and counts
+    a hit, a [None] counts a miss. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership without promotion and without touching the hit/miss
+    counters. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, promoting to most-recently-used; evicts the
+    least-recently-used entry when a fresh insert exceeds capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** No-op when absent. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry; keeps the hit/miss counters. *)
+
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Entries from most- to least-recently-used (test observability). *)

@@ -1,0 +1,301 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let max_depth = 64
+
+(* --- parsing ------------------------------------------------------------ *)
+
+(* Internal-only exception: [parse] catches it at its boundary, so the
+   public API stays total. The payload is (position, message). *)
+exception Bad of int * string
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let fail c msg = raise (Bad (c.pos, msg))
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    && match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let len = String.length word in
+  if c.pos + len <= String.length c.s && String.sub c.s c.pos len = word then begin
+    c.pos <- c.pos + len;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let hex_digit c ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> fail c "bad \\u escape"
+
+let hex4 c =
+  if c.pos + 4 > String.length c.s then fail c "truncated \\u escape";
+  let v =
+    (hex_digit c c.s.[c.pos] lsl 12)
+    lor (hex_digit c c.s.[c.pos + 1] lsl 8)
+    lor (hex_digit c c.s.[c.pos + 2] lsl 4)
+    lor hex_digit c c.s.[c.pos + 3]
+  in
+  c.pos <- c.pos + 4;
+  v
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if c.pos >= String.length c.s then fail c "unterminated string";
+    let ch = c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    match ch with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+      if c.pos >= String.length c.s then fail c "unterminated escape";
+      let e = c.s.[c.pos] in
+      c.pos <- c.pos + 1;
+      (match e with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' ->
+        let hi = hex4 c in
+        if hi >= 0xd800 && hi <= 0xdbff then begin
+          (* surrogate pair: the low half must follow immediately *)
+          if
+            c.pos + 2 <= String.length c.s
+            && c.s.[c.pos] = '\\'
+            && c.s.[c.pos + 1] = 'u'
+          then begin
+            c.pos <- c.pos + 2;
+            let lo = hex4 c in
+            if lo < 0xdc00 || lo > 0xdfff then fail c "unpaired surrogate";
+            add_utf8 buf (0x10000 + ((hi - 0xd800) lsl 10) + (lo - 0xdc00))
+          end
+          else fail c "unpaired surrogate"
+        end
+        else if hi >= 0xdc00 && hi <= 0xdfff then fail c "unpaired surrogate"
+        else add_utf8 buf hi
+      | _ -> fail c "bad escape");
+      loop ())
+    | '\000' .. '\031' -> fail c "raw control character in string"
+    | ch ->
+      Buffer.add_char buf ch;
+      loop ()
+  in
+  loop ()
+
+let parse_number c =
+  let start = c.pos in
+  let len = String.length c.s in
+  let is_digit ch = ch >= '0' && ch <= '9' in
+  if peek c = Some '-' then c.pos <- c.pos + 1;
+  let digits () =
+    let d0 = c.pos in
+    while c.pos < len && is_digit c.s.[c.pos] do
+      c.pos <- c.pos + 1
+    done;
+    if c.pos = d0 then fail c "expected digit"
+  in
+  digits ();
+  let integral = ref true in
+  if peek c = Some '.' then begin
+    integral := false;
+    c.pos <- c.pos + 1;
+    digits ()
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+    integral := false;
+    c.pos <- c.pos + 1;
+    (match peek c with
+    | Some ('+' | '-') -> c.pos <- c.pos + 1
+    | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub c.s start (c.pos - start) in
+  if !integral then
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> Float (float_of_string text) (* overflows OCaml int *)
+  else Float (float_of_string text)
+
+let rec parse_value c depth =
+  if depth > max_depth then fail c "nesting too deep";
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c (depth + 1) in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          c.pos <- c.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail c "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value c (depth + 1) in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          elements (v :: acc)
+        | Some ']' ->
+          c.pos <- c.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail c "expected ',' or ']'"
+      in
+      List (elements [])
+    end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  match
+    let v = parse_value c 0 in
+    skip_ws c;
+    if c.pos <> String.length s then fail c "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (pos, msg) ->
+    Error (Printf.sprintf "json: %s at byte %d" msg pos)
+  | exception Failure msg -> Error (Printf.sprintf "json: %s" msg)
+
+(* --- printing ----------------------------------------------------------- *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | '\000' .. '\031' ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+let float_text f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_text f)
+  | Str s -> escape_into buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        render buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj members ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_into buf k;
+        Buffer.add_char buf ':';
+        render buf v)
+      members;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 64 in
+  render buf v;
+  Buffer.contents buf
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let member k = function Obj ms -> List.assoc_opt k ms | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None

@@ -1,0 +1,45 @@
+(** Minimal JSON for the wire protocol.
+
+    The container ships no JSON library, and the serving layer needs a
+    {e total} parser for adversarial bytes plus a {e deterministic}
+    printer (the result cache stores rendered fragments, and the e2e
+    tests compare responses byte for byte). This is a small recursive-
+    descent implementation of exactly that: object member order is
+    preserved, the printer emits no whitespace, and parsing is guarded by
+    a nesting-depth cap so a `[[[[…` bomb returns [Error] instead of
+    overflowing the stack. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val max_depth : int
+(** Nesting cap (64) enforced by {!parse}. *)
+
+val parse : string -> (t, string) result
+(** Total: never raises. Numbers without fraction/exponent that fit in an
+    OCaml [int] parse as [Int], everything else numeric as [Float].
+    Rejects trailing garbage, unpaired surrogates, and inputs nested
+    deeper than {!max_depth}. *)
+
+val to_string : t -> string
+(** Compact rendering: no whitespace, members in list order, strings
+    escaped per RFC 8259 (control characters as [\u00XX]). [Float]
+    values render via [%.17g] trimmed — but the protocol itself only
+    emits [Int]s, keeping responses bit-stable. *)
+
+(** {1 Accessors} — each returns [None] on a shape mismatch. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on non-objects too. *)
+
+val to_int : t -> int option
+
+val to_str : t -> string option
+
+val to_bool : t -> bool option

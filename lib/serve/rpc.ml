@@ -1,0 +1,224 @@
+type census_kind = Trees | Graphs
+
+type request =
+  | Ping
+  | Stats
+  | Info of { g6 : string; graph : Graph.t }
+  | Check of { version : Usage_cost.version; g6 : string; graph : Graph.t }
+  | Census_shard of {
+      kind : census_kind;
+      version : Usage_cost.version;
+      n : int;
+      lo : int;
+      hi : int;
+    }
+
+type error_code =
+  | Parse_error
+  | Invalid_request
+  | Unknown_method
+  | Invalid_params
+  | Bad_graph6
+  | Too_large
+  | Timeout
+  | Internal
+
+let error_code_name = function
+  | Parse_error -> "parse_error"
+  | Invalid_request -> "invalid_request"
+  | Unknown_method -> "unknown_method"
+  | Invalid_params -> "invalid_params"
+  | Bad_graph6 -> "bad_graph6"
+  | Too_large -> "too_large"
+  | Timeout -> "timeout"
+  | Internal -> "internal"
+
+(* --- request parsing ----------------------------------------------------- *)
+
+let version_of_string = function
+  | "sum" -> Some Usage_cost.Sum
+  | "max" -> Some Usage_cost.Max
+  | _ -> None
+
+let parse_request line =
+  match Jsonx.parse line with
+  | Error msg -> Error (Jsonx.Null, Parse_error, msg)
+  | Ok json -> (
+    match json with
+    | Jsonx.Obj _ -> (
+      let id =
+        match Jsonx.member "id" json with
+        | None -> Ok Jsonx.Null
+        | Some (Jsonx.Null | Jsonx.Int _ | Jsonx.Str _) as some ->
+          Ok (Option.get some)
+        | Some _ -> Error "id must be an integer, a string or null"
+      in
+      match id with
+      | Error msg -> Error (Jsonx.Null, Invalid_request, msg)
+      | Ok id -> (
+        let fail code msg = Error (id, code, msg) in
+        let params = Option.value ~default:(Jsonx.Obj []) (Jsonx.member "params" json) in
+        let str_param k = Option.bind (Jsonx.member k params) Jsonx.to_str in
+        let int_param k = Option.bind (Jsonx.member k params) Jsonx.to_int in
+        let game () =
+          match str_param "game" with
+          | None -> Ok Usage_cost.Sum (* protocol default, like the CLI *)
+          | Some s -> (
+            match version_of_string s with
+            | Some v -> Ok v
+            | None -> Error (Printf.sprintf "unknown game %S (expected sum or max)" s))
+        in
+        let graph () =
+          match str_param "graph6" with
+          | None -> Error `Missing
+          | Some s -> (
+            match Graph6.decode_result s with
+            | Ok g -> Ok (s, g)
+            | Error msg -> Error (`Bad msg))
+        in
+        match Jsonx.member "method" json with
+        | None -> fail Invalid_request "missing \"method\""
+        | Some (Jsonx.Str meth) -> (
+          match params with
+          | Jsonx.Obj _ -> (
+            match meth with
+            | "ping" -> Ok (id, Ping)
+            | "stats" -> Ok (id, Stats)
+            | "info" -> (
+              match graph () with
+              | Ok (g6, graph) -> Ok (id, Info { g6; graph })
+              | Error `Missing -> fail Invalid_params "missing params.graph6"
+              | Error (`Bad msg) -> fail Bad_graph6 msg)
+            | "check" -> (
+              match (game (), graph ()) with
+              | Error msg, _ -> fail Invalid_params msg
+              | _, Error `Missing -> fail Invalid_params "missing params.graph6"
+              | _, Error (`Bad msg) -> fail Bad_graph6 msg
+              | Ok version, Ok (g6, graph) ->
+                Ok (id, Check { version; g6; graph }))
+            | "census-shard" -> (
+              match game () with
+              | Error msg -> fail Invalid_params msg
+              | Ok version -> (
+                let kind =
+                  match str_param "kind" with
+                  | Some "trees" -> Ok Trees
+                  | Some "graphs" -> Ok Graphs
+                  | Some s ->
+                    Error (Printf.sprintf "unknown kind %S (expected trees or graphs)" s)
+                  | None -> Error "missing params.kind"
+                in
+                match (kind, int_param "n", int_param "lo", int_param "hi") with
+                | Error msg, _, _, _ -> fail Invalid_params msg
+                | _, None, _, _ -> fail Invalid_params "missing integer params.n"
+                | _, _, None, _ -> fail Invalid_params "missing integer params.lo"
+                | _, _, _, None -> fail Invalid_params "missing integer params.hi"
+                | Ok kind, Some n, Some lo, Some hi ->
+                  Ok (id, Census_shard { kind; version; n; lo; hi })))
+            | _ -> fail Unknown_method (Printf.sprintf "unknown method %S" meth))
+          | _ -> fail Invalid_request "params must be an object")
+        | Some _ -> fail Invalid_request "method must be a string"))
+    | _ -> Error (Jsonx.Null, Invalid_request, "request must be a JSON object"))
+
+(* --- result builders ----------------------------------------------------- *)
+
+let ping_result = Jsonx.Str "pong"
+
+let opt_int = function Some d -> Jsonx.Int d | None -> Jsonx.Null
+
+let info_result g =
+  Jsonx.Obj
+    [
+      ("n", Jsonx.Int (Graph.n g));
+      ("m", Jsonx.Int (Graph.m g));
+      ("connected", Jsonx.Bool (Components.is_connected g));
+      ("diameter", opt_int (Metrics.diameter g));
+      ("radius", opt_int (Metrics.radius g));
+      ("girth", opt_int (Metrics.girth g));
+      ("min_degree", Jsonx.Int (if Graph.n g = 0 then 0 else Graph.min_degree g));
+      ("max_degree", Jsonx.Int (Graph.max_degree g));
+      ("wiener", opt_int (Metrics.wiener_index g));
+      ("graph6", Jsonx.Str (Graph6.encode g));
+    ]
+
+let check_result version verdict g =
+  let base =
+    [
+      ("game", Jsonx.Str (Usage_cost.version_name version));
+      ( "verdict",
+        Jsonx.Str
+          (match verdict with
+          | Equilibrium.Equilibrium -> "equilibrium"
+          | Equilibrium.Disconnected -> "disconnected"
+          | Equilibrium.Violation _ -> "violation") );
+    ]
+  in
+  let witness =
+    match verdict with
+    | Equilibrium.Violation (move, delta) ->
+      [
+        ( "witness",
+          Jsonx.Obj
+            [
+              ("move", Jsonx.Str (Swap.move_to_string move));
+              ("delta", Jsonx.Int delta);
+            ] );
+      ]
+    | _ -> []
+  in
+  Jsonx.Obj (base @ witness @ [ ("diameter", opt_int (Metrics.diameter g)) ])
+
+let verdict_is_invariant = function
+  | Equilibrium.Equilibrium | Equilibrium.Disconnected -> true
+  | Equilibrium.Violation _ -> false
+
+let tree_census_result (c : Census.tree_census) =
+  Jsonx.Obj
+    [
+      ("kind", Jsonx.Str "trees");
+      ("n", Jsonx.Int c.Census.n);
+      ("total", Jsonx.Int c.Census.total);
+      ("equilibria", Jsonx.Int c.Census.equilibria);
+      ("stars", Jsonx.Int c.Census.stars);
+      ("double_stars", Jsonx.Int c.Census.double_stars);
+      ("max_eq_diameter", Jsonx.Int c.Census.max_eq_diameter);
+      ("witnesses_verified", Jsonx.Int c.Census.witnesses_verified);
+    ]
+
+let graph_census_result (c : Census.graph_census) =
+  Jsonx.Obj
+    [
+      ("kind", Jsonx.Str "graphs");
+      ("n", Jsonx.Int c.Census.n);
+      ("connected", Jsonx.Int c.Census.connected);
+      ("equilibria_labeled", Jsonx.Int c.Census.equilibria_labeled);
+      ( "equilibria_iso",
+        Jsonx.List
+          (List.map (fun g -> Jsonx.Str (Graph6.encode g)) c.Census.equilibria_iso)
+      );
+      ( "diameter_histogram",
+        Jsonx.List
+          (List.map
+             (fun (d, k) -> Jsonx.List [ Jsonx.Int d; Jsonx.Int k ])
+             c.Census.diameter_histogram) );
+      ("max_diameter", Jsonx.Int c.Census.max_diameter);
+    ]
+
+(* --- response envelopes -------------------------------------------------- *)
+
+let render_ok ~id ~result =
+  Printf.sprintf "{\"id\":%s,\"ok\":true,\"result\":%s}" (Jsonx.to_string id) result
+
+let render_error ~id code msg =
+  Jsonx.to_string
+    (Jsonx.Obj
+       [
+         ("id", id);
+         ("ok", Jsonx.Bool false);
+         ( "error",
+           Jsonx.Obj
+             [
+               ("code", Jsonx.Str (error_code_name code));
+               ("message", Jsonx.Str msg);
+             ] );
+       ])

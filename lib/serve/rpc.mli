@@ -1,0 +1,81 @@
+(** Wire protocol of the serving layer.
+
+    Newline-delimited JSON, one request object per line, one response
+    object per line, answered in request order (clients may pipeline).
+    The full grammar and error-code table live in DESIGN.md ("Serving
+    layer"); this module is the parse/render pair, kept separate from
+    the socket machinery so tests can assert byte-identical responses
+    against direct library calls.
+
+    A request is [{"id": <int|string|null>, "method": <string>,
+    "params": <object>}] ([id] and [params] optional); a response echoes
+    the id as [{"id": .., "ok": true, "result": ..}] or
+    [{"id": .., "ok": false, "error": {"code", "message"}}]. *)
+
+type census_kind = Trees | Graphs
+
+(** A parsed, validated request. Graph-carrying methods keep the raw
+    graph6 text alongside the decoded graph — it is the exact-match
+    cache key. *)
+type request =
+  | Ping
+  | Stats
+  | Info of { g6 : string; graph : Graph.t }
+  | Check of { version : Usage_cost.version; g6 : string; graph : Graph.t }
+  | Census_shard of {
+      kind : census_kind;
+      version : Usage_cost.version;
+      n : int;
+      lo : int;
+      hi : int;
+    }
+
+type error_code =
+  | Parse_error  (** the line is not valid JSON *)
+  | Invalid_request  (** valid JSON, wrong envelope shape *)
+  | Unknown_method
+  | Invalid_params
+  | Bad_graph6  (** params well-shaped but the graph6 string is malformed *)
+  | Too_large  (** request bytes or graph size beyond the server's limits *)
+  | Timeout  (** the per-request deadline expired *)
+  | Internal  (** unexpected exception; the server stays up *)
+
+val error_code_name : error_code -> string
+(** The wire name: ["parse_error"], ["invalid_request"], ... *)
+
+val parse_request :
+  string -> (Jsonx.t * request, Jsonx.t * error_code * string) result
+(** [parse_request line] is [(id, request)] or [(id, code, message)];
+    the id is [Jsonx.Null] when absent or unrecoverable, so an error
+    reply can always echo something. Total. *)
+
+(** {1 Result builders}
+
+    Pure renderers from library values to the [result] payload; the e2e
+    test computes expected response bytes by calling these directly. *)
+
+val ping_result : Jsonx.t
+
+val info_result : Graph.t -> Jsonx.t
+
+val check_result : Usage_cost.version -> Equilibrium.verdict -> Graph.t -> Jsonx.t
+(** Includes the version, the verdict (with the witness move and delta
+    on violations), and the diameter (null when disconnected). *)
+
+val verdict_is_invariant : Equilibrium.verdict -> bool
+(** Whether the verdict is invariant under vertex relabeling —
+    [Equilibrium] and [Disconnected] are, a [Violation] witness names
+    concrete vertices and is not. Gates canonical-form caching. *)
+
+val tree_census_result : Census.tree_census -> Jsonx.t
+
+val graph_census_result : Census.graph_census -> Jsonx.t
+
+(** {1 Response envelopes} *)
+
+val render_ok : id:Jsonx.t -> result:string -> string
+(** [result] is an already-rendered JSON fragment (the cache stores
+    rendered fragments so hits and misses emit identical bytes). The
+    returned line has no trailing newline. *)
+
+val render_error : id:Jsonx.t -> error_code -> string -> string

@@ -1,0 +1,607 @@
+(* Accept thread per listening address, systhread per connection, domain
+   pool for the heavy kernels. Systhreads interleave on one domain (the
+   OCaml 5 master lock), so connection handling is concurrency, not
+   parallelism — the parallelism lives in the pool, entered by one
+   request at a time under [pool_lock]. *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+let pp_address ppf = function
+  | Unix_sock path -> Format.fprintf ppf "unix:%s" path
+  | Tcp (host, port) -> Format.fprintf ppf "tcp:%s:%d" host port
+
+type config = {
+  addresses : address list;
+  jobs : int;
+  cache_capacity : int;
+  max_request_bytes : int;
+  max_graph_vertices : int;
+  census_slice : int;
+  request_timeout : float;
+}
+
+let default_config =
+  {
+    addresses = [];
+    jobs = 0;
+    cache_capacity = 4096;
+    max_request_bytes = 1 lsl 20;
+    max_graph_vertices = 512;
+    census_slice = 4096;
+    request_timeout = 30.0;
+  }
+
+(* --- telemetry (all no-ops while --stats is off) ------------------------- *)
+
+let m_requests = Telemetry.counter "serve.requests"
+
+let m_ok = Telemetry.counter "serve.ok"
+
+let m_errors = Telemetry.counter "serve.errors"
+
+let m_conns = Telemetry.counter "serve.connections"
+
+let m_cache_hits = Telemetry.counter "serve.cache_hits"
+
+let m_cache_misses = Telemetry.counter "serve.cache_misses"
+
+let m_bytes_in = Telemetry.counter "serve.bytes_in"
+
+let m_bytes_out = Telemetry.counter "serve.bytes_out"
+
+let m_latency = Telemetry.histogram "serve.latency_us"
+
+let m_inflight = Telemetry.gauge "serve.in_flight"
+
+(* --- server state -------------------------------------------------------- *)
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  pool_lock : Mutex.t;
+  cache : (string, string) Lru.t;
+  cache_lock : Mutex.t;
+  (* memo of graph6 text -> canonical form: canonicalization is the
+     expensive part of a canonical-cache probe (highly symmetric graphs
+     backtrack over large automorphism groups), so repeated texts must
+     not pay it twice *)
+  canon : (string, string) Lru.t;
+  canon_lock : Mutex.t;
+  stopping : bool Atomic.t;
+  listeners : (address * Unix.file_descr) list;
+  mutable accept_threads : Thread.t list;
+  conns : Thread.t list ref;
+  conn_lock : Mutex.t;
+  (* live counters for the in-band stats method, independent of the
+     telemetry switch *)
+  requests : int Atomic.t;
+  ok_count : int Atomic.t;
+  err_count : int Atomic.t;
+  in_flight : int Atomic.t;
+  hit_count : int Atomic.t;
+  miss_count : int Atomic.t;
+  started_at : float;
+  mutable stopped : bool;
+  stop_lock : Mutex.t;
+}
+
+(* --- cache --------------------------------------------------------------- *)
+
+let cache_find srv key =
+  Mutex.lock srv.cache_lock;
+  let r = Lru.find srv.cache key in
+  Mutex.unlock srv.cache_lock;
+  r
+
+let cache_add srv key v =
+  Mutex.lock srv.cache_lock;
+  Lru.add srv.cache key v;
+  Mutex.unlock srv.cache_lock
+
+let count_hit srv =
+  Atomic.incr srv.hit_count;
+  Telemetry.incr m_cache_hits
+
+let count_miss srv =
+  Atomic.incr srv.miss_count;
+  Telemetry.incr m_cache_misses
+
+(* --- dispatch ------------------------------------------------------------ *)
+
+let stats_result srv =
+  Mutex.lock srv.cache_lock;
+  let size = Lru.length srv.cache and cap = Lru.capacity srv.cache in
+  Mutex.unlock srv.cache_lock;
+  Jsonx.Obj
+    [
+      ("requests", Jsonx.Int (Atomic.get srv.requests));
+      ("ok", Jsonx.Int (Atomic.get srv.ok_count));
+      ("errors", Jsonx.Int (Atomic.get srv.err_count));
+      ("in_flight", Jsonx.Int (Atomic.get srv.in_flight));
+      ("jobs", Jsonx.Int (Pool.jobs srv.pool));
+      ( "uptime_ms",
+        Jsonx.Int (int_of_float ((Unix.gettimeofday () -. srv.started_at) *. 1e3))
+      );
+      ( "cache",
+        Jsonx.Obj
+          [
+            ("size", Jsonx.Int size);
+            ("capacity", Jsonx.Int cap);
+            ("hits", Jsonx.Int (Atomic.get srv.hit_count));
+            ("misses", Jsonx.Int (Atomic.get srv.miss_count));
+          ] );
+    ]
+
+let graph_too_large srv g =
+  if Graph.n g > srv.cfg.max_graph_vertices then
+    Some
+      ( Rpc.Too_large,
+        Printf.sprintf "graph has %d vertices; this server accepts at most %d"
+          (Graph.n g) srv.cfg.max_graph_vertices )
+  else None
+
+let past deadline = Unix.gettimeofday () > deadline
+
+let do_info srv (g6 : string) g =
+  match graph_too_large srv g with
+  | Some err -> Error err
+  | None -> (
+    let key = "info:" ^ g6 in
+    match cache_find srv key with
+    | Some r ->
+      count_hit srv;
+      Ok r
+    | None ->
+      count_miss srv;
+      let r = Jsonx.to_string (Rpc.info_result g) in
+      cache_add srv key r;
+      Ok r)
+
+let do_check srv ~deadline version (g6 : string) g =
+  match graph_too_large srv g with
+  | Some err -> Error err
+  | None -> (
+    let game = Usage_cost.version_name version in
+    let exact_key = Printf.sprintf "check:%s:%s" game g6 in
+    (* canonical key: relabelings of an already-checked graph are hits.
+       Guarded by the Canon search cap; larger graphs only dedupe on the
+       exact bytes. *)
+    let canon_key =
+      if Graph.n g <= Canon.max_search_vertices then begin
+        Mutex.lock srv.canon_lock;
+        let memo = Lru.find srv.canon g6 in
+        Mutex.unlock srv.canon_lock;
+        let cf =
+          match memo with
+          | Some cf -> cf
+          | None ->
+            let cf = Canon.canonical_form g in
+            Mutex.lock srv.canon_lock;
+            Lru.add srv.canon g6 cf;
+            Mutex.unlock srv.canon_lock;
+            cf
+        in
+        Some (Printf.sprintf "check:%s:canon:%s" game cf)
+      end
+      else None
+    in
+    let cached =
+      match cache_find srv exact_key with
+      | Some r -> Some r
+      | None -> Option.bind canon_key (cache_find srv)
+    in
+    match cached with
+    | Some r ->
+      count_hit srv;
+      Ok r
+    | None ->
+      count_miss srv;
+      if past deadline then
+        Error (Rpc.Timeout, "deadline expired before dispatch")
+      else begin
+        Mutex.lock srv.pool_lock;
+        let verdict =
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock srv.pool_lock)
+            (fun () ->
+              match version with
+              | Usage_cost.Sum -> Equilibrium.check_sum ~pool:srv.pool g
+              | Usage_cost.Max -> Equilibrium.check_max ~pool:srv.pool g)
+        in
+        let r = Jsonx.to_string (Rpc.check_result version verdict g) in
+        cache_add srv exact_key r;
+        (* a violation witness names concrete vertices, so it is only
+           valid for this labeling — never serve it to an isomorphic
+           relabeling *)
+        if Rpc.verdict_is_invariant verdict then
+          Option.iter (fun k -> cache_add srv k r) canon_key;
+        Ok r
+      end)
+
+let do_census srv ~deadline kind version n lo hi =
+  let max_n =
+    match kind with
+    | Rpc.Trees -> Enumerate.max_tree_vertices
+    | Rpc.Graphs -> Enumerate.max_graph_vertices
+  in
+  if n < 1 || n > max_n then
+    Error
+      ( Rpc.Invalid_params,
+        Printf.sprintf "census n must be in [1, %d], got %d" max_n n )
+  else begin
+    let total =
+      match kind with
+      | Rpc.Trees -> Enumerate.count_trees n
+      | Rpc.Graphs -> Enumerate.graph_mask_count n
+    in
+    if lo < 0 || hi > total || lo > hi then
+      Error
+        ( Rpc.Invalid_params,
+          Printf.sprintf "shard range must satisfy 0 <= lo <= hi <= %d" total )
+    else begin
+      (* deadline-checked slices: a shard is the client-facing unit of
+         parallelism (fan disjoint shards across requests), a slice is
+         the server-side unit of interruption *)
+      let slice = max 1 srv.cfg.census_slice in
+      let timeout_err =
+        ( Rpc.Timeout,
+          Printf.sprintf "deadline expired inside census shard [%d, %d)" lo hi )
+      in
+      match kind with
+      | Rpc.Trees ->
+        let rec go acc cursor =
+          if cursor >= hi then Ok (Jsonx.to_string (Rpc.tree_census_result acc))
+          else if past deadline then Error timeout_err
+          else
+            let stop = min hi (cursor + slice) in
+            let part = Census.tree_census_in version n ~lo:cursor ~hi:stop in
+            go (Census.merge_tree_census acc part) stop
+        in
+        go (Census.tree_census_in version n ~lo ~hi:lo) lo
+      | Rpc.Graphs ->
+        let rec go acc cursor =
+          if cursor >= hi then Ok (Jsonx.to_string (Rpc.graph_census_result acc))
+          else if past deadline then Error timeout_err
+          else
+            let stop = min hi (cursor + slice) in
+            let part = Census.graph_census_in version n ~lo:cursor ~hi:stop in
+            go (Census.merge_graph_census acc part) stop
+        in
+        go (Census.graph_census_in version n ~lo ~hi:lo) lo
+    end
+  end
+
+let dispatch srv ~deadline = function
+  | Rpc.Ping -> Ok (Jsonx.to_string Rpc.ping_result)
+  | Rpc.Stats -> Ok (Jsonx.to_string (stats_result srv))
+  | Rpc.Info { g6; graph } -> do_info srv g6 graph
+  | Rpc.Check { version; g6; graph } -> do_check srv ~deadline version g6 graph
+  | Rpc.Census_shard { kind; version; n; lo; hi } ->
+    do_census srv ~deadline kind version n lo hi
+
+(* Everything below the envelope goes through here: every line gets a
+   reply, every exception becomes an [internal] error, the server never
+   dies on a request. *)
+let process_request srv line =
+  Atomic.incr srv.requests;
+  Telemetry.incr m_requests;
+  Atomic.incr srv.in_flight;
+  Telemetry.set_gauge m_inflight (Atomic.get srv.in_flight);
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. srv.cfg.request_timeout in
+  let response =
+    if String.length line > srv.cfg.max_request_bytes then begin
+      Atomic.incr srv.err_count;
+      Telemetry.incr m_errors;
+      Rpc.render_error ~id:Jsonx.Null Rpc.Too_large
+        (Printf.sprintf "request exceeds %d bytes" srv.cfg.max_request_bytes)
+    end
+    else begin
+      let id, outcome =
+        match Rpc.parse_request line with
+        | Error (id, code, msg) -> (id, Error (code, msg))
+        | Ok (id, req) -> (
+          ( id,
+            try dispatch srv ~deadline req with
+            | Invalid_argument msg -> Error (Rpc.Invalid_params, msg)
+            | e -> Error (Rpc.Internal, Printexc.to_string e) ))
+      in
+      match outcome with
+      | Ok result ->
+        Atomic.incr srv.ok_count;
+        Telemetry.incr m_ok;
+        Rpc.render_ok ~id ~result
+      | Error (code, msg) ->
+        Atomic.incr srv.err_count;
+        Telemetry.incr m_errors;
+        Rpc.render_error ~id code msg
+    end
+  in
+  Atomic.decr srv.in_flight;
+  Telemetry.set_gauge m_inflight (Atomic.get srv.in_flight);
+  Telemetry.observe m_latency (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+  response
+
+(* --- sockets ------------------------------------------------------------- *)
+
+let wait_readable fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let handle_connection srv fd =
+  Telemetry.incr m_conns;
+  let cfg = srv.cfg in
+  let chunk = Bytes.create 65536 in
+  let pending = Buffer.create 1024 in
+  let scan_from = ref 0 in
+  let alive = ref true in
+  let send_line line =
+    let data = line ^ "\n" in
+    let len = String.length data in
+    let off = ref 0 in
+    try
+      while !off < len do
+        off := !off + Unix.write_substring fd data !off (len - !off)
+      done;
+      Telemetry.add m_bytes_out len
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _)
+    -> alive := false
+  in
+  (* one complete line out of [pending], CRLF-tolerant; [scan_from]
+     remembers how far previous scans got so repeated probing of a
+     slow-arriving line stays linear *)
+  let extract_line () =
+    let contents = Buffer.contents pending in
+    match String.index_from_opt contents !scan_from '\n' with
+    | None ->
+      scan_from := String.length contents;
+      None
+    | Some i ->
+      let stop = if i > 0 && contents.[i - 1] = '\r' then i - 1 else i in
+      let line = String.sub contents 0 stop in
+      Buffer.clear pending;
+      Buffer.add_substring pending contents (i + 1) (String.length contents - i - 1);
+      scan_from := 0;
+      Some line
+  in
+  let rec loop () =
+    if !alive then
+      match extract_line () with
+      | Some "" -> loop () (* blank keep-alive line *)
+      | Some line ->
+        send_line (process_request srv line);
+        loop ()
+      | None ->
+        if Buffer.length pending > cfg.max_request_bytes then begin
+          (* the line overran the limit before its newline arrived:
+             framing is lost, so reply once and hang up *)
+          Atomic.incr srv.requests;
+          Telemetry.incr m_requests;
+          Atomic.incr srv.err_count;
+          Telemetry.incr m_errors;
+          send_line
+            (Rpc.render_error ~id:Jsonx.Null Rpc.Too_large
+               (Printf.sprintf "request exceeds %d bytes" cfg.max_request_bytes))
+        end
+        else if Atomic.get srv.stopping then ()
+        else if wait_readable fd 0.25 then begin
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> () (* EOF *)
+          | k ->
+            Telemetry.add m_bytes_in k;
+            Buffer.add_subbytes pending chunk 0 k;
+            loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception
+              Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+            -> ()
+        end
+        else loop ()
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+    | _ | (exception Not_found) ->
+      invalid_arg (Printf.sprintf "Serve: cannot resolve host %S" host))
+
+let bind_one addr =
+  match addr with
+  | Unix_sock path ->
+    (match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path (* stale socket *)
+    | _ -> invalid_arg (Printf.sprintf "Serve: %s exists and is not a socket" path)
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (Unix_sock path, fd)
+  | Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+    Unix.listen fd 64;
+    let bound_port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (Tcp (host, bound_port), fd)
+
+let accept_loop srv fd =
+  let rec loop () =
+    if not (Atomic.get srv.stopping) then
+      if wait_readable fd 0.2 then begin
+        match Unix.accept ~cloexec:true fd with
+        | conn_fd, _ ->
+          let th = Thread.create (fun () -> handle_connection srv conn_fd) () in
+          Mutex.lock srv.conn_lock;
+          srv.conns := th :: !(srv.conns);
+          Mutex.unlock srv.conn_lock;
+          loop ()
+        | exception
+            Unix.Unix_error
+              ( ( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                | Unix.ECONNABORTED ),
+                _,
+                _ ) ->
+          loop ()
+      end
+      else loop ()
+  in
+  (try loop () with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let start cfg =
+  if cfg.addresses = [] then invalid_arg "Serve.start: no addresses";
+  if cfg.jobs < 0 then invalid_arg "Serve.start: jobs < 0";
+  if cfg.cache_capacity < 1 then invalid_arg "Serve.start: cache_capacity < 1";
+  if cfg.max_request_bytes < 64 then
+    invalid_arg "Serve.start: max_request_bytes < 64";
+  if cfg.max_graph_vertices < 1 then
+    invalid_arg "Serve.start: max_graph_vertices < 1";
+  if cfg.request_timeout <= 0.0 then
+    invalid_arg "Serve.start: request_timeout <= 0";
+  (* a vanished client must close one connection, not kill the server *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let jobs = if cfg.jobs = 0 then Pool.available_jobs () else cfg.jobs in
+  let listeners = List.map bind_one cfg.addresses in
+  let srv =
+    {
+      cfg;
+      pool = Pool.create ~jobs ();
+      pool_lock = Mutex.create ();
+      cache = Lru.create ~capacity:cfg.cache_capacity;
+      cache_lock = Mutex.create ();
+      canon = Lru.create ~capacity:cfg.cache_capacity;
+      canon_lock = Mutex.create ();
+      stopping = Atomic.make false;
+      listeners;
+      accept_threads = [];
+      conns = ref [];
+      conn_lock = Mutex.create ();
+      requests = Atomic.make 0;
+      ok_count = Atomic.make 0;
+      err_count = Atomic.make 0;
+      in_flight = Atomic.make 0;
+      hit_count = Atomic.make 0;
+      miss_count = Atomic.make 0;
+      started_at = Unix.gettimeofday ();
+      stopped = false;
+      stop_lock = Mutex.create ();
+    }
+  in
+  srv.accept_threads <-
+    List.map (fun (_, fd) -> Thread.create (accept_loop srv) fd) listeners;
+  srv
+
+let bound_addresses srv = List.map fst srv.listeners
+
+let stop srv =
+  Mutex.lock srv.stop_lock;
+  let already = srv.stopped in
+  srv.stopped <- true;
+  Mutex.unlock srv.stop_lock;
+  if not already then begin
+    Atomic.set srv.stopping true;
+    (* accept threads first: after they join, no new connection threads
+       can appear and the [conns] snapshot below is complete *)
+    List.iter Thread.join srv.accept_threads;
+    Mutex.lock srv.conn_lock;
+    let conns = !(srv.conns) in
+    Mutex.unlock srv.conn_lock;
+    List.iter Thread.join conns;
+    Pool.shutdown srv.pool;
+    List.iter
+      (function
+        | Unix_sock path, _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | Tcp _, _ -> ())
+      srv.listeners
+  end
+
+let run ?(on_ready = fun _ -> ()) cfg =
+  let stop_flag = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+  let old_int = Sys.signal Sys.sigint handler in
+  let old_term = Sys.signal Sys.sigterm handler in
+  let srv = start cfg in
+  on_ready srv;
+  while not (Atomic.get stop_flag) do
+    try Unix.sleepf 0.2
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  stop srv;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term
+
+(* --- client -------------------------------------------------------------- *)
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;
+  mutable c_scan : int;
+  c_timeout : float;
+}
+
+let connect ?(timeout = 30.0) addr =
+  let fd =
+    match addr with
+    | Unix_sock path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    | Tcp (host, port) ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (resolve_host host, port));
+      fd
+  in
+  { c_fd = fd; c_buf = Buffer.create 256; c_scan = 0; c_timeout = timeout }
+
+let close_client c = try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+
+let call c line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring c.c_fd data !off (len - !off)
+  done;
+  let deadline = Unix.gettimeofday () +. c.c_timeout in
+  let chunk = Bytes.create 65536 in
+  let rec await () =
+    let contents = Buffer.contents c.c_buf in
+    match String.index_from_opt contents c.c_scan '\n' with
+    | Some i ->
+      let stop = if i > 0 && contents.[i - 1] = '\r' then i - 1 else i in
+      let line = String.sub contents 0 stop in
+      Buffer.clear c.c_buf;
+      Buffer.add_substring c.c_buf contents (i + 1) (String.length contents - i - 1);
+      c.c_scan <- 0;
+      line
+    | None ->
+      c.c_scan <- String.length contents;
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then failwith "Serve.call: timed out awaiting reply"
+      else if wait_readable c.c_fd (Float.min remaining 0.25) then begin
+        match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+        | 0 -> failwith "Serve.call: connection closed by server"
+        | k ->
+          Buffer.add_subbytes c.c_buf chunk 0 k;
+          await ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+      end
+      else await ()
+  in
+  await ()
+
+let with_client ?timeout addr f =
+  let c = connect ?timeout addr in
+  Fun.protect ~finally:(fun () -> close_client c) (fun () -> f c)

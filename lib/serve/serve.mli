@@ -1,0 +1,104 @@
+(** Long-lived request/response server for equilibrium workloads.
+
+    [bncg serve] keeps a {!Pool} of worker domains warm and answers the
+    newline-delimited JSON protocol of {!Rpc} over Unix domain sockets
+    and TCP, so heavy traffic amortizes process and pool startup and —
+    through a bounded {!Lru} cache keyed by canonical graph form —
+    never recomputes an equilibrium check it has already answered for an
+    isomorphic graph.
+
+    {b Concurrency model.} One accept thread per listening address and
+    one (sys)thread per connection; clients may pipeline any number of
+    request lines and responses come back in request order. Equilibrium
+    checks dispatch onto the shared domain pool (one region at a time, a
+    mutex serializes launchers); census shards run sequentially in
+    deadline-checked slices — the intended way to parallelize a census
+    is to fan disjoint [census-shard] ranges across requests.
+
+    {b Caching.} [check] results are cached under the exact graph6 text
+    and — when the verdict is isomorphism-invariant (equilibrium /
+    disconnected) and the graph is within {!Canon.max_search_vertices} —
+    under [version + canonical form], so relabeled copies of a known
+    equilibrium are cache hits. Violation verdicts name concrete
+    vertices, so they are only ever served for the exact same labeled
+    graph. The cache stores rendered JSON fragments: hits and misses
+    emit byte-identical responses. [info] results are cached under the
+    exact text only.
+
+    {b Robustness.} A request line over [max_request_bytes] gets a
+    [too_large] error (and, when the overflow is detected before the
+    newline, the connection closes since framing is lost); malformed
+    JSON, bad envelopes, unknown methods, bad graph6 and oversized
+    graphs all get structured error replies and never kill the server;
+    the per-request deadline is enforced cooperatively (checked before
+    heavy dispatch and between census slices). SIGPIPE is ignored; a
+    client vanishing mid-reply only closes that connection.
+
+    {b Telemetry.} [serve.requests], [serve.ok], [serve.errors],
+    [serve.connections], [serve.cache_hits]/[serve.cache_misses],
+    [serve.bytes_in]/[serve.bytes_out], a [serve.latency_us] histogram
+    and a [serve.in_flight] gauge — all visible via [--stats] and the
+    in-band [stats] method (the latter reports live values whether or
+    not telemetry is enabled). *)
+
+type address =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port; port 0 binds an ephemeral port *)
+
+val pp_address : Format.formatter -> address -> unit
+
+type config = {
+  addresses : address list;
+  jobs : int;  (** pool width; 0 = all available cores *)
+  cache_capacity : int;
+  max_request_bytes : int;
+  max_graph_vertices : int;
+      (** upper bound on [Graph.n] accepted by [info] and [check] — the
+          cooperative-deadline story needs bounded single work items *)
+  census_slice : int;
+      (** ranks/masks per deadline check inside a census shard *)
+  request_timeout : float;  (** seconds; the cooperative deadline *)
+}
+
+val default_config : config
+(** No addresses; jobs 0; cache 4096 entries; 1 MiB requests; graphs to
+    512 vertices; 4096-rank census slices; 30 s deadline. *)
+
+type t
+
+val start : config -> t
+(** Bind every address (stale Unix-socket paths are replaced), spawn the
+    pool and the accept threads, and return. @raise Invalid_argument on
+    an empty address list or nonsensical limits; [Unix.Unix_error] if a
+    bind fails. *)
+
+val bound_addresses : t -> address list
+(** Addresses actually bound — a [Tcp (_, 0)] request shows its
+    resolved ephemeral port. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, let in-flight requests finish,
+    join every connection thread, shut the pool down (domains joined),
+    unlink Unix-socket paths. Idempotent. *)
+
+val run : ?on_ready:(t -> unit) -> config -> unit
+(** [start], call [on_ready] with the live server (e.g. to print
+    {!bound_addresses}), block until SIGINT or SIGTERM, then [stop].
+    For the CLI. *)
+
+(** {1 Client} *)
+
+type client
+
+val connect : ?timeout:float -> address -> client
+(** [timeout] (default 30 s) bounds each {!call}'s wait for a reply
+    line. *)
+
+val call : client -> string -> string
+(** [call c line] sends one request line and returns the matching
+    response line (without the newline). Raises [Failure] on timeout or
+    a dropped connection. *)
+
+val close_client : client -> unit
+
+val with_client : ?timeout:float -> address -> (client -> 'a) -> 'a

@@ -45,6 +45,68 @@ let test_decode_rejects_garbage () =
   Alcotest.check_raises "bad byte" (Invalid_argument "Graph6.decode: bad byte")
     (fun () -> ignore (Graph6.decode "\x01"))
 
+let test_decode_result_matches_decode () =
+  (* agreement with the raising decoder on valid and invalid inputs *)
+  List.iter
+    (fun s ->
+      match (Graph6.decode_result s, Graph6.decode s) with
+      | Ok a, b -> check_true "same graph" (Graph.equal a b)
+      | Error _, _ -> Alcotest.fail "decode_result rejected a valid string"
+      | exception Invalid_argument _ ->
+        check_true "both reject" (Result.is_error (Graph6.decode_result s)))
+    [
+      "@"; "A_"; "Dhc"; "DqK";
+      Graph6.encode (Generators.petersen ());
+      Graph6.encode (Generators.cycle 100);
+      ""; "D"; "\x01"; "~~~"; "~"; "~??"; "Dhcc"; "Dh";
+    ]
+
+(* 500 seeded adversarial strings: random bytes, truncations/extensions of
+   valid encodings, and single-byte corruptions. decode_result must stay
+   total (never raise) and accept a string iff the raising decoder does. *)
+let test_decode_result_fuzz () =
+  let rng = Prng.create 0xfeed in
+  let valid =
+    [
+      Graph6.encode (Generators.star 9);
+      Graph6.encode (Generators.petersen ());
+      Graph6.encode (Generators.cycle 64);
+      Graph6.encode (Graph.create 0);
+    ]
+  in
+  let random_string () =
+    let len = Prng.int rng 40 in
+    String.init len (fun _ -> Char.chr (Prng.int rng 256))
+  in
+  let mutate s =
+    match (Prng.int rng 3, String.length s) with
+    | _, 0 -> random_string ()
+    | 0, len -> String.sub s 0 (Prng.int rng len) (* truncate *)
+    | 1, _ -> s ^ random_string () (* extend *)
+    | _, len ->
+      (* corrupt one byte *)
+      let b = Bytes.of_string s in
+      Bytes.set b (Prng.int rng len) (Char.chr (Prng.int rng 256));
+      Bytes.to_string b
+  in
+  for _ = 1 to 500 do
+    let s =
+      if Prng.bool rng then random_string ()
+      else mutate (List.nth valid (Prng.int rng (List.length valid)))
+    in
+    let total =
+      match Graph6.decode_result s with
+      | Ok g -> Graph.equal g (Graph6.decode s)
+      | Error _ -> (
+        match Graph6.decode s with
+        | _ -> false (* decode accepted what decode_result rejected *)
+        | exception Invalid_argument _ -> true)
+      | exception _ -> false
+    in
+    if not total then
+      Alcotest.failf "decode_result not total/consistent on %S" s
+  done
+
 let test_roundtrip_random =
   qcheck ~count:200 "random roundtrip" (gen_any_graph ~min_n:0 ~max_n:30) (fun g ->
       Graph.equal g (Graph6.decode (Graph6.encode g)))
@@ -63,6 +125,8 @@ let suite =
     case "roundtrip families" test_roundtrip_families;
     case "extended header (n > 62)" test_large_n_header;
     case "decode rejects garbage" test_decode_rejects_garbage;
+    case "decode_result agrees with decode" test_decode_result_matches_decode;
+    case "decode_result fuzz (500 adversarial strings)" test_decode_result_fuzz;
     test_roundtrip_random;
     test_encoding_is_injective;
   ]

@@ -1,0 +1,134 @@
+open Test_helpers
+
+let test_basic () =
+  let c = Lru.create ~capacity:3 in
+  check_int "empty" 0 (Lru.length c);
+  check_int "capacity" 3 (Lru.capacity c);
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check_true "find a" (Lru.find c "a" = Some 1);
+  check_true "find b" (Lru.find c "b" = Some 2);
+  check_true "miss" (Lru.find c "z" = None);
+  check_int "len" 2 (Lru.length c);
+  check_int "hits" 2 (Lru.hits c);
+  check_int "misses" 1 (Lru.misses c)
+
+let test_eviction_order () =
+  let c = Lru.create ~capacity:3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  (* recency is c, b, a; inserting d evicts a *)
+  Lru.add c "d" 4;
+  check_true "a evicted" (not (Lru.mem c "a"));
+  check_true "b kept" (Lru.mem c "b");
+  check_true "order" (Lru.to_list c = [ ("d", 4); ("c", 3); ("b", 2) ])
+
+let test_find_promotes () =
+  let c = Lru.create ~capacity:3 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "c" 3;
+  (* touching a makes b the LRU entry *)
+  ignore (Lru.find c "a");
+  Lru.add c "d" 4;
+  check_true "b evicted" (not (Lru.mem c "b"));
+  check_true "a kept by promotion" (Lru.mem c "a");
+  check_true "order" (Lru.to_list c = [ ("d", 4); ("a", 1); ("c", 3) ])
+
+let test_update_on_access () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* re-adding an existing key replaces the value and promotes: a is now
+     most-recent, so c evicts b *)
+  Lru.add c "a" 10;
+  check_int "len unchanged" 2 (Lru.length c);
+  check_true "updated" (Lru.find c "a" = Some 10);
+  Lru.add c "c" 3;
+  check_true "b evicted" (not (Lru.mem c "b"));
+  check_true "a kept" (Lru.mem c "a")
+
+let test_mem_does_not_promote () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  check_true "mem a" (Lru.mem c "a");
+  check_int "no hit counted" 0 (Lru.hits c);
+  (* a was not promoted by mem, so it is still the LRU entry *)
+  Lru.add c "c" 3;
+  check_true "a evicted" (not (Lru.mem c "a"))
+
+let test_remove_and_clear () =
+  let c = Lru.create ~capacity:4 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.remove c "a";
+  Lru.remove c "nope";
+  check_int "len" 1 (Lru.length c);
+  check_true "gone" (not (Lru.mem c "a"));
+  ignore (Lru.find c "b");
+  Lru.clear c;
+  check_int "cleared" 0 (Lru.length c);
+  check_true "empty list" (Lru.to_list c = []);
+  check_int "hit counters survive clear" 1 (Lru.hits c);
+  (* reusable after clear *)
+  Lru.add c "x" 9;
+  check_true "usable" (Lru.find c "x" = Some 9)
+
+let test_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.add c 1 "one";
+  Lru.add c 2 "two";
+  check_int "len" 1 (Lru.length c);
+  check_true "only latest" (Lru.find c 2 = Some "two");
+  check_true "evicted" (Lru.find c 1 = None)
+
+let test_rejects_zero_capacity () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Lru.create: capacity < 1")
+    (fun () -> ignore (Lru.create ~capacity:0))
+
+(* model check: drive the cache and a naive reference (assoc list in
+   recency order) with the same operation stream *)
+let test_against_model =
+  qcheck ~count:200 "matches a naive LRU model"
+    QCheck2.Gen.(
+      pair (int_range 1 6) (list_size (int_range 0 120) (pair (int_range 0 9) (int_range 0 2))))
+    (fun (cap, ops) ->
+      let c = Lru.create ~capacity:cap in
+      (* model: (key, value) list, most-recent first *)
+      let model = ref [] in
+      List.for_all
+        (fun (k, op) ->
+          match op with
+          | 0 ->
+            (* add k (value k*10) *)
+            Lru.add c k (k * 10);
+            model := (k, k * 10) :: List.remove_assoc k !model;
+            if List.length !model > cap then
+              model := List.filteri (fun i _ -> i < cap) !model;
+            true
+          | 1 ->
+            let expected = List.assoc_opt k !model in
+            (if expected <> None then
+               model := (k, Option.get expected) :: List.remove_assoc k !model);
+            Lru.find c k = expected
+          | _ ->
+            Lru.remove c k;
+            model := List.remove_assoc k !model;
+            true)
+        ops
+      && Lru.to_list c = !model)
+
+let suite =
+  [
+    case "basic add/find and counters" test_basic;
+    case "eviction follows recency order" test_eviction_order;
+    case "find promotes" test_find_promotes;
+    case "add on existing key updates and promotes" test_update_on_access;
+    case "mem is passive" test_mem_does_not_promote;
+    case "remove and clear" test_remove_and_clear;
+    case "capacity one" test_capacity_one;
+    case "rejects zero capacity" test_rejects_zero_capacity;
+    test_against_model;
+  ]

@@ -1,0 +1,442 @@
+(* Serving layer: the Jsonx codec, the Rpc parse/render pair, and an
+   end-to-end server exercise over a real Unix socket — concurrent
+   clients, mixed valid/malformed traffic, responses checked
+   byte-for-byte against direct library calls. *)
+
+open Test_helpers
+
+let check_str = Alcotest.(check string)
+
+(* --- jsonx --------------------------------------------------------------- *)
+
+let parse_ok s =
+  match Jsonx.parse s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "Jsonx.parse %S failed: %s" s msg
+
+let test_jsonx_roundtrip () =
+  let cases =
+    [
+      "null";
+      "true";
+      "false";
+      "0";
+      "-17";
+      "\"\"";
+      "\"hello\"";
+      "[]";
+      "[1,2,3]";
+      "{}";
+      "{\"a\":1,\"b\":[true,null]}";
+      "{\"nested\":{\"deep\":[{\"x\":\"y\"}]}}";
+    ]
+  in
+  List.iter
+    (fun s -> check_str s s (Jsonx.to_string (parse_ok s)))
+    cases
+
+let test_jsonx_whitespace_and_numbers () =
+  check_str "ws" "{\"a\":[1,2]}"
+    (Jsonx.to_string (parse_ok "  { \"a\" : [ 1 , 2 ] }  "));
+  (match parse_ok "3.5" with
+  | Jsonx.Float f -> check_true "3.5" (Float.equal f 3.5)
+  | _ -> Alcotest.fail "3.5 should parse as Float");
+  (match parse_ok "1e3" with
+  | Jsonx.Float f -> check_true "1e3" (Float.equal f 1000.0)
+  | _ -> Alcotest.fail "1e3 should parse as Float");
+  (match parse_ok "42" with
+  | Jsonx.Int 42 -> ()
+  | _ -> Alcotest.fail "42 should parse as Int");
+  (* an integer literal beyond OCaml's int range must not wrap around *)
+  match parse_ok "123456789012345678901234567890" with
+  | Jsonx.Float _ -> ()
+  | _ -> Alcotest.fail "huge integer should fall back to Float"
+
+let test_jsonx_strings () =
+  (match parse_ok "\"a\\nb\\t\\\"c\\\\\"" with
+  | Jsonx.Str s -> check_str "escapes" "a\nb\t\"c\\" s
+  | _ -> Alcotest.fail "expected Str");
+  (match parse_ok "\"\\u0041\\u00e9\\u20ac\"" with
+  | Jsonx.Str s -> check_str "utf8" "A\xc3\xa9\xe2\x82\xac" s
+  | _ -> Alcotest.fail "expected Str");
+  (* surrogate pair: U+1F600 *)
+  (match parse_ok "\"\\ud83d\\ude00\"" with
+  | Jsonx.Str s -> check_str "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected Str");
+  (* control characters must render as escapes that re-parse *)
+  let s = Jsonx.to_string (Jsonx.Str "a\000b\031c") in
+  match Jsonx.parse s with
+  | Ok (Jsonx.Str s') -> check_str "control roundtrip" "a\000b\031c" s'
+  | _ -> Alcotest.failf "control-char rendering %S did not re-parse" s
+
+let test_jsonx_rejects () =
+  let bad =
+    [
+      "";
+      "   ";
+      "{";
+      "[1,";
+      "[1 2]";
+      "{\"a\":}";
+      "{\"a\" 1}";
+      "tru";
+      "nul";
+      "1.2.3";
+      "01x";
+      "\"unterminated";
+      "\"bad \\q escape\"";
+      "\"\\ud83d\""; (* unpaired high surrogate *)
+      "\"\\ude00\""; (* unpaired low surrogate *)
+      "\"raw \x01 control\"";
+      "{} trailing";
+      "1 2";
+      String.concat "" (List.init 100 (fun _ -> "[")) (* past max_depth *);
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Jsonx.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "Jsonx.parse should reject %S" s)
+    bad
+
+let test_jsonx_total_fuzz () =
+  (* no input may escape the (t, string) result type *)
+  let rng = Prng.create 0xbead in
+  for _ = 1 to 500 do
+    let len = Prng.int rng 40 in
+    let s = String.init len (fun _ -> Char.chr (Prng.int rng 256)) in
+    match Jsonx.parse s with
+    | Ok _ | Error _ -> ()
+  done
+
+(* --- rpc ----------------------------------------------------------------- *)
+
+let star9 = Generators.star 9
+
+let star9_g6 = Graph6.encode star9
+
+let req_of_string s =
+  match Rpc.parse_request s with
+  | Ok (id, req) -> (id, req)
+  | Error (_, code, msg) ->
+    Alcotest.failf "parse_request %S failed: %s %s" s (Rpc.error_code_name code) msg
+
+let err_of_string s =
+  match Rpc.parse_request s with
+  | Ok _ -> Alcotest.failf "parse_request should reject %S" s
+  | Error (id, code, _) -> (id, code)
+
+let test_rpc_parse_ok () =
+  (match req_of_string "{\"id\":7,\"method\":\"ping\"}" with
+  | Jsonx.Int 7, Rpc.Ping -> ()
+  | _ -> Alcotest.fail "ping");
+  (match req_of_string "{\"method\":\"stats\"}" with
+  | Jsonx.Null, Rpc.Stats -> ()
+  | _ -> Alcotest.fail "stats with no id");
+  (match
+     req_of_string
+       (Printf.sprintf "{\"id\":\"a\",\"method\":\"info\",\"params\":{\"graph6\":%S}}"
+          star9_g6)
+   with
+  | Jsonx.Str "a", Rpc.Info { g6; graph } ->
+    check_str "g6 kept verbatim" star9_g6 g6;
+    check_true "decoded graph" (Graph.equal graph star9)
+  | _ -> Alcotest.fail "info");
+  (match
+     req_of_string
+       (Printf.sprintf "{\"method\":\"check\",\"params\":{\"graph6\":%S}}" star9_g6)
+   with
+  | _, Rpc.Check { version = Usage_cost.Sum; _ } -> ()
+  | _ -> Alcotest.fail "check defaults to the sum game");
+  (match
+     req_of_string
+       (Printf.sprintf
+          "{\"method\":\"check\",\"params\":{\"game\":\"max\",\"graph6\":%S}}" star9_g6)
+   with
+  | _, Rpc.Check { version = Usage_cost.Max; _ } -> ()
+  | _ -> Alcotest.fail "check max");
+  match
+    req_of_string
+      "{\"id\":1,\"method\":\"census-shard\",\"params\":{\"kind\":\"trees\",\"game\":\"sum\",\"n\":6,\"lo\":10,\"hi\":20}}"
+  with
+  | Jsonx.Int 1, Rpc.Census_shard { kind = Rpc.Trees; n = 6; lo = 10; hi = 20; _ } -> ()
+  | _ -> Alcotest.fail "census-shard"
+
+let test_rpc_parse_errors () =
+  let check_code name expected s =
+    let _, code = err_of_string s in
+    check_str name (Rpc.error_code_name expected) (Rpc.error_code_name code)
+  in
+  check_code "not json" Rpc.Parse_error "nonsense";
+  check_code "not an object" Rpc.Invalid_request "[1,2]";
+  check_code "missing method" Rpc.Invalid_request "{\"id\":1}";
+  check_code "method not a string" Rpc.Invalid_request "{\"method\":42}";
+  check_code "params not an object" Rpc.Invalid_request
+    "{\"method\":\"ping\",\"params\":[]}";
+  check_code "bad id" Rpc.Invalid_request "{\"id\":[1],\"method\":\"ping\"}";
+  check_code "unknown method" Rpc.Unknown_method "{\"method\":\"frobnicate\"}";
+  check_code "missing graph6" Rpc.Invalid_params "{\"method\":\"check\"}";
+  check_code "bad graph6" Rpc.Bad_graph6
+    "{\"method\":\"check\",\"params\":{\"graph6\":\"\\u0001\"}}";
+  check_code "bad game" Rpc.Invalid_params
+    (Printf.sprintf
+       "{\"method\":\"check\",\"params\":{\"game\":\"median\",\"graph6\":%S}}" star9_g6);
+  check_code "missing census n" Rpc.Invalid_params
+    "{\"method\":\"census-shard\",\"params\":{\"kind\":\"trees\",\"lo\":0,\"hi\":1}}";
+  (* the id still comes back when the envelope is bad but the id itself parsed *)
+  let id, _ = err_of_string "{\"id\":9,\"method\":\"frobnicate\"}" in
+  check_true "id echoed on error" (id = Jsonx.Int 9)
+
+let test_rpc_render () =
+  check_str "render_ok"
+    "{\"id\":3,\"ok\":true,\"result\":{\"x\":1}}"
+    (Rpc.render_ok ~id:(Jsonx.Int 3) ~result:"{\"x\":1}");
+  check_str "render_error"
+    "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"timeout\",\"message\":\"m\"}}"
+    (Rpc.render_error ~id:Jsonx.Null Rpc.Timeout "m")
+
+(* --- end-to-end ----------------------------------------------------------- *)
+
+let temp_sock tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "bncg-test-%s-%d.sock" tag (Unix.getpid ()))
+
+let e2e_config sock =
+  {
+    Serve.default_config with
+    Serve.addresses = [ Serve.Unix_sock sock ];
+    jobs = 2;
+    census_slice = 100 (* small enough that the e2e census merges slices *);
+  }
+
+(* the star on 9 vertices with its center relabeled to [c]: distinct
+   graph6 text per center, one isomorphism class *)
+let star9_centered c =
+  let g = Graph.create 9 in
+  for v = 0 to 8 do
+    if v <> c then Graph.add_edge g c v
+  done;
+  g
+
+let torus3 = Constructions.torus 3
+
+let path8 = Generators.path 8
+
+(* expected response bytes computed by direct library calls — the server
+   must produce exactly these *)
+let expected_check ~id version g =
+  let verdict =
+    match version with
+    | Usage_cost.Sum -> Equilibrium.check_sum g
+    | Usage_cost.Max -> Equilibrium.check_max g
+  in
+  Rpc.render_ok ~id:(Jsonx.Int id)
+    ~result:(Jsonx.to_string (Rpc.check_result version verdict g))
+
+let expected_info ~id g =
+  Rpc.render_ok ~id:(Jsonx.Int id) ~result:(Jsonx.to_string (Rpc.info_result g))
+
+let check_request ~id game g =
+  Printf.sprintf "{\"id\":%d,\"method\":\"check\",\"params\":{\"game\":%S,\"graph6\":%s}}"
+    id game
+    (Jsonx.to_string (Jsonx.Str (Graph6.encode g)))
+
+let info_request ~id g =
+  Printf.sprintf "{\"id\":%d,\"method\":\"info\",\"params\":{\"graph6\":%s}}" id
+    (Jsonx.to_string (Jsonx.Str (Graph6.encode g)))
+
+(* one request/expectation pair per index; valid and malformed
+   interleave on every connection *)
+let workload_item id =
+  match id mod 6 with
+  | 0 ->
+    let g = star9_centered (id mod 9) in
+    (check_request ~id "sum" g, `Exact (expected_check ~id Usage_cost.Sum g))
+  | 1 -> (check_request ~id "max" torus3, `Exact (expected_check ~id Usage_cost.Max torus3))
+  | 2 -> (info_request ~id path8, `Exact (expected_info ~id path8))
+  | 3 ->
+    ( Printf.sprintf "{\"id\":%d,\"method\":\"ping\"}" id,
+      `Exact (Rpc.render_ok ~id:(Jsonx.Int id) ~result:(Jsonx.to_string Rpc.ping_result)) )
+  | 4 -> ("definitely not json", `Code "parse_error")
+  | _ ->
+    ( Printf.sprintf "{\"id\":%d,\"method\":\"frobnicate\"}" id,
+      `Code "unknown_method" )
+
+let error_code_of reply =
+  match Jsonx.parse reply with
+  | Ok r -> (
+    match Option.bind (Jsonx.member "error" r) (Jsonx.member "code") with
+    | Some (Jsonx.Str c) -> Some c
+    | _ -> None)
+  | Error _ -> None
+
+let test_e2e_concurrent_clients () =
+  let sock = temp_sock "e2e" in
+  let srv = Serve.start (e2e_config sock) in
+  let failures = Array.make 3 [] in
+  let worker t () =
+    Serve.with_client (Serve.Unix_sock sock) @@ fun c ->
+    for i = 0 to 99 do
+      let id = (t * 1000) + i in
+      let request, expectation = workload_item id in
+      let reply = Serve.call c request in
+      match expectation with
+      | `Exact expected ->
+        if not (String.equal expected reply) then
+          failures.(t) <-
+            Printf.sprintf "id %d: expected %s, got %s" id expected reply
+            :: failures.(t)
+      | `Code code ->
+        if error_code_of reply <> Some code then
+          failures.(t) <-
+            Printf.sprintf "id %d: expected error %s, got %s" id code reply
+            :: failures.(t)
+    done
+  in
+  let threads = List.init 3 (fun t -> Thread.create (worker t) ()) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun t fs ->
+      match fs with
+      | [] -> ()
+      | f :: _ ->
+        Alcotest.failf "thread %d: %d bad responses, first: %s" t (List.length fs) f)
+    failures;
+  (* repeated isomorphic/identical graphs must have hit the cache *)
+  let stats =
+    Serve.with_client (Serve.Unix_sock sock) (fun c ->
+        Serve.call c "{\"method\":\"stats\"}")
+  in
+  let hits =
+    match Jsonx.parse stats with
+    | Ok r ->
+      Option.value ~default:(-1)
+        (Option.bind
+           (Option.bind (Option.bind (Jsonx.member "result" r) (Jsonx.member "cache"))
+              (Jsonx.member "hits"))
+           Jsonx.to_int)
+    | Error _ -> -1
+  in
+  check_true "cache hits > 0" (hits > 0);
+  Serve.stop srv;
+  Serve.stop srv (* idempotent *);
+  check_false "socket unlinked on stop" (Sys.file_exists sock)
+
+let test_e2e_census_shard () =
+  let sock = temp_sock "census" in
+  let srv = Serve.start (e2e_config sock) in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  Serve.with_client (Serve.Unix_sock sock) @@ fun c ->
+  (* trees: slices of 100 merged server-side over 1296 ranks must equal
+     one direct full-range call *)
+  let total = Enumerate.count_trees 6 in
+  let reply =
+    Serve.call c
+      (Printf.sprintf
+         "{\"id\":1,\"method\":\"census-shard\",\"params\":{\"kind\":\"trees\",\"game\":\"sum\",\"n\":6,\"lo\":0,\"hi\":%d}}"
+         total)
+  in
+  let expected =
+    Rpc.render_ok ~id:(Jsonx.Int 1)
+      ~result:
+        (Jsonx.to_string
+           (Rpc.tree_census_result
+              (Census.tree_census_in Usage_cost.Sum 6 ~lo:0 ~hi:total)))
+  in
+  check_str "sliced tree census" expected reply;
+  let masks = Enumerate.graph_mask_count 5 in
+  let reply =
+    Serve.call c
+      (Printf.sprintf
+         "{\"id\":2,\"method\":\"census-shard\",\"params\":{\"kind\":\"graphs\",\"game\":\"sum\",\"n\":5,\"lo\":0,\"hi\":%d}}"
+         masks)
+  in
+  let expected =
+    Rpc.render_ok ~id:(Jsonx.Int 2)
+      ~result:
+        (Jsonx.to_string
+           (Rpc.graph_census_result
+              (Census.graph_census_in Usage_cost.Sum 5 ~lo:0 ~hi:masks)))
+  in
+  check_str "sliced graph census" expected reply;
+  (* out-of-range shard: structured error, server stays up *)
+  let reply =
+    Serve.call c
+      "{\"id\":3,\"method\":\"census-shard\",\"params\":{\"kind\":\"trees\",\"game\":\"sum\",\"n\":6,\"lo\":0,\"hi\":999999}}"
+  in
+  check_true "bad shard range rejected" (error_code_of reply = Some "invalid_params");
+  check_str "still serving" "{\"id\":4,\"ok\":true,\"result\":\"pong\"}"
+    (Serve.call c "{\"id\":4,\"method\":\"ping\"}")
+
+let test_e2e_limits () =
+  let sock = temp_sock "limits" in
+  let cfg =
+    {
+      (e2e_config sock) with
+      Serve.max_request_bytes = 256;
+      max_graph_vertices = 10;
+    }
+  in
+  let srv = Serve.start cfg in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  Serve.with_client (Serve.Unix_sock sock) @@ fun c ->
+  (* an oversized but newline-terminated line: structured reply, and the
+     connection keeps working *)
+  let big =
+    Printf.sprintf "{\"id\":1,\"method\":\"ping\",\"pad\":%S}"
+      (String.make 300 'x')
+  in
+  check_true "oversize request rejected" (error_code_of (Serve.call c big) = Some "too_large");
+  check_str "connection survives oversize" "{\"id\":2,\"ok\":true,\"result\":\"pong\"}"
+    (Serve.call c "{\"id\":2,\"method\":\"ping\"}");
+  (* a graph beyond the server's vertex bound *)
+  let reply =
+    Serve.call c
+      (Printf.sprintf "{\"id\":3,\"method\":\"check\",\"params\":{\"graph6\":%s}}"
+         (Jsonx.to_string (Jsonx.Str (Graph6.encode (Generators.star 11)))))
+  in
+  check_true "oversize graph rejected" (error_code_of reply = Some "too_large")
+
+let test_e2e_violation_not_canonically_cached () =
+  (* a path is not a sum equilibrium; its violation witness names
+     vertices, so two relabelings must each get a witness valid for
+     their own labeling (and byte-identical to the direct call) *)
+  let sock = temp_sock "witness" in
+  let srv = Serve.start (e2e_config sock) in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  Serve.with_client (Serve.Unix_sock sock) @@ fun c ->
+  let relabeled =
+    (* 0-1-2-3-4 relabeled by reversal: 4-3-2-1-0 — isomorphic, same
+       canonical class, different adjacency text *)
+    let g = Graph.create 5 in
+    for v = 0 to 3 do
+      Graph.add_edge g (4 - v) (4 - v - 1)
+    done;
+    g
+  in
+  let p5 = Generators.path 5 in
+  List.iteri
+    (fun i g ->
+      let id = i + 1 in
+      check_str
+        (Printf.sprintf "violation witness %d" id)
+        (expected_check ~id Usage_cost.Sum g)
+        (Serve.call c (check_request ~id "sum" g)))
+    [ p5; relabeled; p5 ]
+
+let suite =
+  [
+    case "jsonx: roundtrip" test_jsonx_roundtrip;
+    case "jsonx: whitespace and numbers" test_jsonx_whitespace_and_numbers;
+    case "jsonx: strings and escapes" test_jsonx_strings;
+    case "jsonx: rejects malformed" test_jsonx_rejects;
+    case "jsonx: total on fuzz" test_jsonx_total_fuzz;
+    case "rpc: parses valid requests" test_rpc_parse_ok;
+    case "rpc: error codes" test_rpc_parse_errors;
+    case "rpc: envelopes" test_rpc_render;
+    case "e2e: concurrent clients, byte-identical replies" test_e2e_concurrent_clients;
+    case "e2e: census shards merge like direct calls" test_e2e_census_shard;
+    case "e2e: request and graph limits" test_e2e_limits;
+    case "e2e: violation witnesses are labeling-exact" test_e2e_violation_not_canonically_cached;
+  ]
