@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test bench bench-json verify clean
+.PHONY: all build test bench bench-json bench-compare bench-baseline verify clean
 
 all: build
 
@@ -16,6 +16,21 @@ bench:
 # trajectory snapshot: compare BENCH_*.json files across PRs
 bench-json:
 	dune exec bench/main.exe -- --quick --json BENCH_$(shell git rev-parse --short HEAD).json
+
+# local version of the CI perf gate (tight default tolerance; CI passes
+# a wider one because hosted runners are noisier)
+bench-compare:
+	dune exec bench/main.exe -- --quick --json /tmp/bncg_bench_fresh.json
+	dune exec bench/loadgen.exe -- --json /tmp/bncg_loadgen_fresh.json
+	dune exec bench/compare.exe -- --baseline BENCH_baseline.json \
+	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json
+
+# refresh the committed baseline after an intentional perf change
+bench-baseline:
+	dune exec bench/main.exe -- --quick --json /tmp/bncg_bench_fresh.json
+	dune exec bench/loadgen.exe -- --json /tmp/bncg_loadgen_fresh.json
+	dune exec bench/compare.exe -- --merge BENCH_baseline.json \
+	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json
 
 # the tier-1 gate plus a quick bench smoke run with JSON output
 verify: build

@@ -1,0 +1,186 @@
+(* CI perf-regression gate: diff fresh benchmark JSON against a committed
+   baseline and fail when any kernel slowed past the tolerance.
+
+     compare --baseline BENCH_baseline.json [options] FRESH.json...
+     compare --merge OUT.json FILE.json...
+
+   Rows are the {"benchmark": NAME, "ns_per_run": FLOAT|null} objects
+   emitted by `bench --json` and `loadgen --json`; several fresh files
+   are concatenated before diffing, so the gate covers the kernel suite
+   and the serving loadgen in one call.
+
+   Options:
+     --tolerance F   allowed slowdown fraction (default 0.25 = +25%).
+                     CI passes a wider value than the default because
+                     hosted runners are noisier than the machine that
+                     produced the baseline.
+     --min-ns F      ignore baseline rows faster than F ns (default 1000):
+                     sub-microsecond kernels are dominated by harness
+                     jitter and would make the gate flaky.
+
+   Exit status: 0 when no kernel regressed, 1 on regression, 2 on usage
+   or parse errors. Rows missing on either side are reported but never
+   fail the gate — benchmarks come and go across PRs; refresh the
+   baseline (see README) when that drift gets noisy. *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with Sys_error msg ->
+    Printf.eprintf "compare: %s\n" msg;
+    exit 2
+
+(* name -> ns (None for null rows, i.e. kernels that failed to measure) *)
+let read_rows path =
+  match Jsonx.parse (read_file path) with
+  | Error msg ->
+    Printf.eprintf "compare: %s: %s\n" path msg;
+    exit 2
+  | Ok (Jsonx.List items) ->
+    List.filter_map
+      (fun item ->
+        match Jsonx.member "benchmark" item with
+        | None -> None
+        | Some name_j -> (
+          match Jsonx.to_str name_j with
+          | None -> None
+          | Some name ->
+            let ns =
+              match Jsonx.member "ns_per_run" item with
+              | Some (Jsonx.Float f) -> Some f
+              | Some (Jsonx.Int i) -> Some (float_of_int i)
+              | _ -> None
+            in
+            Some (name, ns)))
+      items
+  | Ok _ ->
+    Printf.eprintf "compare: %s: expected a JSON array of benchmark rows\n"
+      path;
+    exit 2
+
+let write_rows path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, ns) ->
+      let value =
+        match ns with None -> "null" | Some f -> Printf.sprintf "%.3f" f
+      in
+      Printf.fprintf oc "  {\"benchmark\": %S, \"ns_per_run\": %s}%s\n" name
+        value
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc
+
+let pp_ns f =
+  if f >= 1e9 then Printf.sprintf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.2f us" (f /. 1e3)
+  else Printf.sprintf "%.0f ns" f
+
+let compare_rows ~tolerance ~min_ns baseline fresh =
+  let regressions = ref 0 in
+  let compared = ref 0 in
+  let skipped = ref 0 in
+  let missing = ref 0 in
+  List.iter
+    (fun (name, base_ns) ->
+      match base_ns with
+      | None -> incr skipped
+      | Some b when b < min_ns -> incr skipped
+      | Some b -> (
+        match List.assoc_opt name fresh with
+        | None | Some None ->
+          incr missing;
+          Printf.printf "  missing   %-52s (baseline %s)\n" name (pp_ns b)
+        | Some (Some f) ->
+          incr compared;
+          let change = (f -. b) /. b in
+          if change > tolerance then begin
+            incr regressions;
+            Printf.printf "  REGRESSED %-52s %s -> %s  (%+.1f%%, tolerance %+.0f%%)\n"
+              name (pp_ns b) (pp_ns f) (100. *. change) (100. *. tolerance)
+          end
+          else
+            Printf.printf "  ok        %-52s %s -> %s  (%+.1f%%)\n" name
+              (pp_ns b) (pp_ns f) (100. *. change)))
+    baseline;
+  let new_rows =
+    List.filter (fun (name, _) -> List.assoc_opt name baseline = None) fresh
+  in
+  List.iter
+    (fun (name, _) -> Printf.printf "  new       %-52s (not in baseline)\n" name)
+    new_rows;
+  Printf.printf
+    "\ncompared %d kernels: %d regressed, %d below --min-ns or unmeasured, %d missing, %d new\n"
+    !compared !regressions !skipped !missing (List.length new_rows);
+  if !regressions > 0 then begin
+    Printf.printf "FAIL: %d kernel(s) regressed past %+.0f%%\n" !regressions
+      (100. *. tolerance);
+    exit 1
+  end
+  else print_endline "PASS: no kernel regressed past tolerance"
+
+let usage () =
+  prerr_endline
+    "usage: compare --baseline BASELINE.json [--tolerance F] [--min-ns F] FRESH.json...\n\
+    \       compare --merge OUT.json FILE.json...";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] -> usage ()
+  | _ :: "--merge" :: out :: (_ :: _ as files) ->
+    let rows = List.concat_map read_rows files in
+    write_rows out rows;
+    Printf.printf "merged %d rows from %d file(s) into %s\n" (List.length rows)
+      (List.length files) out
+  | _ :: args ->
+    let baseline = ref None in
+    let tolerance = ref 0.25 in
+    let min_ns = ref 1000.0 in
+    let fresh_files = ref [] in
+    let bad_float flag v =
+      Printf.eprintf "compare: %s expects a number, got %S\n" flag v;
+      exit 2
+    in
+    let rec scan = function
+      | [] -> ()
+      | "--baseline" :: path :: rest ->
+        baseline := Some path;
+        scan rest
+      | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0.0 -> tolerance := f
+        | _ -> bad_float "--tolerance" v);
+        scan rest
+      | "--min-ns" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0.0 -> min_ns := f
+        | _ -> bad_float "--min-ns" v);
+        scan rest
+      | ("--baseline" | "--tolerance" | "--min-ns") :: [] -> usage ()
+      | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+        usage ()
+      | path :: rest ->
+        fresh_files := path :: !fresh_files;
+        scan rest
+    in
+    scan args;
+    (match (!baseline, List.rev !fresh_files) with
+    | Some base_path, (_ :: _ as files) ->
+      let baseline = read_rows base_path in
+      let fresh = List.concat_map read_rows files in
+      Printf.printf
+        "comparing %d fresh rows against %s (tolerance %+.0f%%, min %s)\n\n"
+        (List.length fresh) base_path
+        (100. *. !tolerance)
+        (pp_ns !min_ns);
+      compare_rows ~tolerance:!tolerance ~min_ns:!min_ns baseline fresh
+    | _ -> usage ())

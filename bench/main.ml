@@ -111,6 +111,51 @@ let parallel_tests =
       (stage (fun () -> Equilibrium.check_max ~pool:(Lazy.force pool4) torus5));
   ]
 
+(* --- naive oracle vs incremental swap-evaluation engine ------------------ *)
+
+(* One full best-response scan over every agent: the workload the
+   equilibrium checkers, census and dynamics all reduce to. The naive
+   side pays two BFS per candidate move ({!Swap.best_move}); the engine
+   side answers most candidates from cached rows and bounds
+   ({!Swap_eval.best_move}). Workspace/engine creation is inside the
+   kernel so both sides charge their own setup. *)
+let scan_naive version g () =
+  let n = Graph.n g in
+  let ws = Bfs.create_workspace n in
+  for v = 0 to n - 1 do
+    ignore (Swap.best_move ws version g v)
+  done
+
+let scan_engine version g () =
+  let n = Graph.n g in
+  let eng = Swap_eval.create g in
+  for v = 0 to n - 1 do
+    ignore (Swap_eval.best_move eng version v)
+  done
+
+let star24 = Generators.star 24
+let path24 = Generators.path 24
+let petersen_pendant = Constructions.petersen_with_pendant ()
+let gnm20 = Random_graphs.connected_gnm (Prng.create 5) 20 40
+
+let swap_eval_tests =
+  let pair name version g =
+    [
+      Test.make ~name:(Printf.sprintf "swapeval/%s-naive" name)
+        (stage (scan_naive version g));
+      Test.make ~name:(Printf.sprintf "swapeval/%s-engine" name)
+        (stage (scan_engine version g));
+    ]
+  in
+  List.concat
+    [
+      pair "star-n24-sum" Usage_cost.Sum star24;
+      pair "path-n24-sum" Usage_cost.Sum path24;
+      pair "torus-k3-max" Usage_cost.Max torus3;
+      pair "petersen-pendant-max" Usage_cost.Max petersen_pendant;
+      pair "gnm-n20-sum" Usage_cost.Sum gnm20;
+    ]
+
 (* --- one kernel per experiment table ------------------------------------ *)
 
 let experiment_tests =
@@ -202,24 +247,26 @@ let run_benchmarks tests =
   Table.print t;
   rows
 
-(* every "<kernel>-seq" row paired with its "<kernel>-j4" twin *)
-let print_speedups rows =
+(* every "<kernel><base>" row paired with its "<kernel><twin>" sibling:
+   -seq/-j4 for the parallel kernels, -naive/-engine for swap-eval *)
+let print_suffix_speedups rows ~title ~base ~twin =
   let lookup name = List.assoc_opt name rows in
   let pairs =
     List.filter_map
-      (fun (name, seq_ns) ->
-        match Filename.chop_suffix_opt ~suffix:"-seq" name with
+      (fun (name, base_ns) ->
+        match Filename.chop_suffix_opt ~suffix:base name with
         | None -> None
         | Some kernel -> (
-          match lookup (kernel ^ "-j4") with
-          | Some par_ns when (not (Float.is_nan seq_ns)) && not (Float.is_nan par_ns)
-            -> Some (kernel, seq_ns /. par_ns)
+          match lookup (kernel ^ twin) with
+          | Some twin_ns
+            when (not (Float.is_nan base_ns)) && not (Float.is_nan twin_ns) ->
+            Some (kernel, base_ns /. twin_ns)
           | _ -> None))
       rows
   in
   if pairs <> [] then begin
     let t =
-      Table.create ~title:"parallel speedup (sequential / jobs=4)"
+      Table.create ~title
         ~columns:[ ("kernel", Table.Left); ("speedup", Table.Right) ]
     in
     List.iter
@@ -227,6 +274,12 @@ let print_speedups rows =
       pairs;
     Table.print t
   end
+
+let print_speedups rows =
+  print_suffix_speedups rows ~title:"parallel speedup (sequential / jobs=4)"
+    ~base:"-seq" ~twin:"-j4";
+  print_suffix_speedups rows ~title:"swap-eval speedup (naive / engine)"
+    ~base:"-naive" ~twin:"-engine"
 
 let write_json path rows =
   let oc = open_out path in
@@ -279,7 +332,9 @@ let () =
   let rows =
     Exp_common.with_stats (fun () ->
         let rows =
-          run_benchmarks (substrate_tests @ parallel_tests @ experiment_tests)
+          run_benchmarks
+            (substrate_tests @ parallel_tests @ swap_eval_tests
+           @ experiment_tests)
         in
         print_speedups rows;
         rows)

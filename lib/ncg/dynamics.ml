@@ -51,25 +51,29 @@ type result = {
 
 (* A cost-neutral deletion for the max version: remove an incident edge
    without hurting the agent's local diameter.  Strictly decreases m, so it
-   can never cycle; it is required to reach deletion-critical states. *)
-let find_neutral_deletion ws version g v =
+   can never cycle; it is required to reach deletion-critical states.
+   Deletion deltas come straight off the engine's cached drop rows. *)
+let find_neutral_deletion eng version v =
   match version with
   | Usage_cost.Sum -> None
   | Usage_cost.Max ->
+    let g = Swap_eval.graph eng in
     let best = ref None in
-    (* snapshot: Swap.delta mutates the adjacency rows *)
+    (* snapshot: the engine's fallback mutates the adjacency rows *)
     Array.iter
       (fun drop ->
         if !best = None then begin
           let mv = Swap.Delete { actor = v; drop } in
-          let d = Swap.delta ws version g mv in
-          if d <= 0 then best := Some (mv, d)
+          match Swap_eval.delta_below eng version mv ~cutoff:1 with
+          | Some d -> best := Some (mv, d)
+          | None -> ()
         end)
       (Graph.neighbors g v);
     !best
 
 (* bounded agent: examine only [budget] uniformly sampled candidate swaps *)
-let sampled_move rng ws version g v budget =
+let sampled_move rng eng version v budget =
+  let g = Swap_eval.graph eng in
   let n = Graph.n g in
   let neighbors = Graph.neighbors g v in
   let deg = Array.length neighbors in
@@ -82,29 +86,28 @@ let sampled_move rng ws version g v budget =
       if add <> v && add <> drop && not (Array.exists (fun w -> w = add) neighbors)
       then begin
         let mv = Swap.Swap { actor = v; drop; add } in
-        let d = Swap.delta ws version g mv in
-        if d < 0 then
-          match !best with
-          | Some (_, bd) when bd <= d -> ()
-          | _ -> best := Some (mv, d)
+        let cutoff = match !best with None -> 0 | Some (_, bd) -> bd in
+        match Swap_eval.delta_below eng version mv ~cutoff with
+        | Some d -> best := Some (mv, d)
+        | None -> ()
       end
     done;
     !best
   end
 
-let pick_move rng ws cfg g v =
+let pick_move rng eng cfg v =
   let deletion =
-    if cfg.allow_deletions then find_neutral_deletion ws cfg.version g v
+    if cfg.allow_deletions then find_neutral_deletion eng cfg.version v
     else None
   in
   match deletion with
   | Some _ as d -> d
   | None -> (
     match cfg.rule with
-    | Best_response -> Swap.best_move ws cfg.version g v
-    | First_improving -> Swap.first_improving_move ws cfg.version g v
-    | Random_improving -> Swap.random_improving_move rng ws cfg.version g v
-    | Sampled budget -> sampled_move rng ws cfg.version g v budget)
+    | Best_response -> Swap_eval.best_move eng cfg.version v
+    | First_improving -> Swap_eval.first_improving_move eng cfg.version v
+    | Random_improving -> Swap_eval.random_improving_move rng eng cfg.version v
+    | Sampled budget -> sampled_move rng eng cfg.version v budget)
 
 let run ?rng cfg g0 =
   if not (Components.is_connected g0) then
@@ -112,7 +115,7 @@ let run ?rng cfg g0 =
   let rng = match rng with Some r -> r | None -> Prng.create 0 in
   let g = Graph.copy g0 in
   let n = Graph.n g in
-  let ws = Bfs.create_workspace n in
+  let eng = Swap_eval.create g in
   let seen = Hashtbl.create 1024 in
   Hashtbl.add seen (Graph.hash g) ();
   let trace = ref [] in
@@ -138,10 +141,11 @@ let run ?rng cfg g0 =
            | Round_robin -> slot
            | Random_agent -> Prng.int rng n
          in
-         match pick_move rng ws cfg g v with
+         match pick_move rng eng cfg v with
          | None -> ()
          | Some (mv, d) ->
            Swap.apply g mv;
+           Swap_eval.invalidate eng;
            progressed := true;
            record mv d;
            let h = Graph.hash g in
@@ -161,7 +165,7 @@ let run ?rng cfg g0 =
          let pending = ref None in
          let v = ref 0 in
          while !pending = None && !v < n do
-           pending := pick_move rng ws { cfg with rule = First_improving } g !v;
+           pending := pick_move rng eng { cfg with rule = First_improving } !v;
            incr v
          done;
          match !pending with
@@ -176,6 +180,7 @@ let run ?rng cfg g0 =
              ()
            | Best_response | First_improving | Random_improving ->
              Swap.apply g mv;
+             Swap_eval.invalidate eng;
              record mv d;
              let h = Graph.hash g in
              if Hashtbl.mem seen h then begin

@@ -12,25 +12,29 @@ exception Witness of Swap.move * int
 
 (* First violating move of a single agent, in move-enumeration order.
    Both the sequential and the parallel checkers are built from this
-   per-agent scan, so their witnesses coincide. *)
-let agent_violation_sum ws g v =
+   per-agent scan, so their witnesses coincide. Candidates are evaluated
+   by the incremental engine: [Swap_eval.delta_below] returns the exact
+   naive delta whenever it is below the cutoff and certifies the skip
+   otherwise, so verdicts and witnesses are byte-identical to the
+   apply/BFS/undo oracle. *)
+let agent_violation_sum eng v =
   try
-    Swap.iter_moves g v (fun mv ->
-        let d = Swap.delta ws Usage_cost.Sum g mv in
-        if d < 0 then raise (Witness (mv, d)));
+    Swap.iter_moves (Swap_eval.graph eng) v (fun mv ->
+        match Swap_eval.delta_below eng Usage_cost.Sum mv ~cutoff:0 with
+        | Some d -> raise (Witness (mv, d))
+        | None -> ());
     None
   with Witness (mv, d) -> Some (mv, d)
 
-let agent_violation_max ws g v =
+let agent_violation_max eng v =
   try
-    Swap.iter_moves ~include_deletions:true g v (fun mv ->
-        let d = Swap.delta ws Usage_cost.Max g mv in
-        match mv with
-        | Swap.Swap _ -> if d < 0 then raise (Witness (mv, d))
-        | Swap.Delete _ ->
-          (* equilibrium demands deletion *strictly increases* the
-             actor's local diameter *)
-          if d <= 0 then raise (Witness (mv, d)));
+    Swap.iter_moves ~include_deletions:true (Swap_eval.graph eng) v (fun mv ->
+        (* equilibrium demands deletion *strictly increases* the actor's
+           local diameter, so deletions violate already at delta = 0 *)
+        let cutoff = match mv with Swap.Swap _ -> 0 | Swap.Delete _ -> 1 in
+        match Swap_eval.delta_below eng Usage_cost.Max mv ~cutoff with
+        | Some d -> raise (Witness (mv, d))
+        | None -> ());
     None
   with Witness (mv, d) -> Some (mv, d)
 
@@ -47,31 +51,36 @@ let m_violating_agent = Telemetry.gauge "equilibrium.violating_agent"
 
 let m_check = Telemetry.span "equilibrium.check"
 
-(* Fan the per-agent scans across the pool. Swap deltas apply and undo
-   moves on the graph, so every domain works on its own [Graph.copy];
-   [Pool.parallel_find] keeps the lowest-agent witness, matching the
-   sequential scan order. *)
+(* Fan the per-agent scans across the pool. The engine's bound fallback
+   applies and undoes moves on the graph, so every domain works on its
+   own [Graph.copy] behind its own engine; [Pool.parallel_find] keeps
+   the lowest-agent witness, matching the sequential scan order. The
+   sequential engine is shared across agents, so lazily computed
+   distance rows amortise over the whole check. *)
 let check_with ~agent_violation ?pool g =
   let t0 = Telemetry.start () in
+  (* the connectivity pre-check reads vertex 0's row off the engine; on
+     the sequential path the scan starts at agent 0, which wants exactly
+     that row, so the check costs no extra BFS at all *)
+  let eng = Swap_eval.create g in
   let verdict =
-    if not (Components.is_connected g) then Disconnected
+    if not (Swap_eval.connected eng) then Disconnected
     else begin
       let n = Graph.n g in
       let witness =
         match pool with
         | Some pool when Pool.jobs pool > 1 ->
           Pool.parallel_find pool ~n
-            ~init:(fun () -> (Graph.copy g, Bfs.create_workspace n))
-            (fun (gc, ws) v ->
+            ~init:(fun () -> Swap_eval.create (Graph.copy g))
+            (fun eng v ->
               Telemetry.incr m_agents;
-              agent_violation ws gc v)
+              agent_violation eng v)
         | _ ->
-          let ws = Bfs.create_workspace n in
           let rec scan v =
             if v >= n then None
             else begin
               Telemetry.incr m_agents;
-              match agent_violation ws g v with
+              match agent_violation eng v with
               | Some _ as w -> w
               | None -> scan (v + 1)
             end
@@ -114,17 +123,21 @@ let non_neighbors g v =
   Array.sub buf 0 !k
 
 let find_non_critical_deletion g =
-  let ws = Bfs.create_workspace (Graph.n g) in
+  (* deletion deltas come straight off the engine's cached rows: one
+     distance row per endpoint (shared across its edges) plus one drop
+     row per directed deletion, instead of two fresh BFS per candidate *)
+  let eng = Swap_eval.create g in
   try
-    (* Graph.edges gives a snapshot: the deltas below mutate the graph *)
     List.iter
       (fun (u, v) ->
         let mu = Swap.Delete { actor = u; drop = v } in
-        let du = Swap.delta ws Usage_cost.Max g mu in
-        if du <= 0 then raise (Witness (mu, du));
+        (match Swap_eval.delta_below eng Usage_cost.Max mu ~cutoff:1 with
+        | Some du -> raise (Witness (mu, du))
+        | None -> ());
         let mv = Swap.Delete { actor = v; drop = u } in
-        let dv = Swap.delta ws Usage_cost.Max g mv in
-        if dv <= 0 then raise (Witness (mv, dv)))
+        match Swap_eval.delta_below eng Usage_cost.Max mv ~cutoff:1 with
+        | Some dv -> raise (Witness (mv, dv))
+        | None -> ())
       (Graph.edges g);
     None
   with Witness (mv, d) -> Some (mv, d)

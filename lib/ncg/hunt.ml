@@ -35,26 +35,29 @@ type result = {
 
 let violating_agents version g =
   let n = Graph.n g in
-  let ws = Bfs.create_workspace n in
+  let eng = Swap_eval.create g in
   let count = ref 0 in
   for v = 0 to n - 1 do
     let improving =
-      match Swap.first_improving_move ws version g v with
+      match Swap_eval.first_improving_move eng version v with
       | Some _ -> true
       | None -> (
         match version with
         | Usage_cost.Sum -> false
         | Usage_cost.Max ->
-          (* non-critical deletions also break max equilibrium *)
+          (* non-critical deletions also break max equilibrium; their
+             deltas come off the engine's cached drop rows *)
           let bad = ref false in
           Array.iter
             (fun drop ->
-              if not !bad then begin
-                let d =
-                  Swap.delta ws Usage_cost.Max g (Swap.Delete { actor = v; drop })
-                in
-                if d <= 0 then bad := true
-              end)
+              if not !bad then
+                match
+                  Swap_eval.delta_below eng Usage_cost.Max
+                    (Swap.Delete { actor = v; drop })
+                    ~cutoff:1
+                with
+                | Some _ -> bad := true
+                | None -> ())
             (Graph.neighbors g v);
           !bad)
     in

@@ -3,7 +3,13 @@
     An agent [actor] may replace one incident edge [actor–drop] by another
     incident edge [actor–add]. Swapping onto an existing edge is the
     paper's encoding of deletion, represented explicitly by {!Delete}.
-    All evaluation is exact: apply the move, BFS from the actor, undo. *)
+
+    Evaluation here is the {e naive oracle}: apply the move, BFS from the
+    actor, undo — two full BFS per candidate. The equilibrium checkers,
+    dynamics and hunts evaluate candidates through {!Swap_eval} instead,
+    which amortises distance vectors across an agent's moves and
+    bound-certifies most skips; the scans below are kept as the reference
+    implementation the engine is differential-tested against. *)
 
 type move =
   | Swap of { actor : int; drop : int; add : int }
@@ -33,7 +39,8 @@ val delta : Bfs.workspace -> Usage_cost.version -> Graph.t -> move -> int
 (** [delta ws version g mv] is (actor's cost after) − (actor's cost
     before); negative means the move strictly improves the actor. The
     graph is returned unchanged. Disconnection makes the after-cost
-    {!Usage_cost.infinite}. *)
+    {!Usage_cost.infinite}. This is the naive apply/BFS/undo oracle;
+    {!Swap_eval.delta} computes the same value incrementally. *)
 
 val iter_moves :
   ?include_deletions:bool -> Graph.t -> int -> (move -> unit) -> unit
