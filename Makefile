@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test bench bench-json bench-compare bench-baseline verify clean
+.PHONY: all build test bench bench-json bench-compare bench-baseline census-dist verify clean
 
 all: build
 
@@ -31,6 +31,12 @@ bench-baseline:
 	dune exec bench/loadgen.exe -- --json /tmp/bncg_loadgen_fresh.json
 	dune exec bench/compare.exe -- --merge BENCH_baseline.json \
 	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json
+
+# distributed-census acceptance gate: healthy / flaky / crash / resume
+# phases over real sockets, each gated on byte-identity with the
+# sequential census
+census-dist:
+	dune exec bench/distcensus.exe
 
 # the tier-1 gate plus a quick bench smoke run with JSON output
 verify: build

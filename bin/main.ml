@@ -54,6 +54,25 @@ let with_jobs jobs f =
 
 let decode_graph = Graph6.decode_result
 
+(* "unix:PATH" or "tcp:HOST:PORT"; the shared address syntax of
+   bncg serve --listen, bncg call --addr and bncg census --workers *)
+let parse_address s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" && String.length s > i + 1 ->
+    Ok (Serve.Unix_sock (String.sub s (i + 1) (String.length s - i - 1)))
+  | Some i when String.sub s 0 i = "tcp" -> (
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.rindex_opt rest ':' with
+    | Some j -> (
+      let host = String.sub rest 0 j in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
+      | Some port when port >= 0 && port < 65536 -> Ok (Serve.Tcp (host, port))
+      | _ -> Error (`Msg (Printf.sprintf "bad port in %S" s)))
+    | None -> Error (`Msg (Printf.sprintf "expected tcp:HOST:PORT, got %S" s)))
+  | _ ->
+    Error (`Msg (Printf.sprintf "expected unix:PATH or tcp:HOST:PORT, got %S" s))
+
 (* --- telemetry plumbing ------------------------------------------------- *)
 
 let stats_arg =
@@ -199,11 +218,7 @@ let check version jobs stats stats_json g6 =
   | Ok g ->
     with_stats stats stats_json @@ fun () ->
     with_jobs jobs @@ fun pool ->
-    let verdict =
-      match version with
-      | Usage_cost.Sum -> Equilibrium.check_sum ~pool g
-      | Usage_cost.Max -> Equilibrium.check_max ~pool g
-    in
+    let verdict = Equilibrium.check ~pool version g in
     Printf.printf "version: %s\n" (Usage_cost.version_name version);
     Printf.printf "verdict: %s\n" (Format.asprintf "%a" Equilibrium.pp_verdict verdict);
     Printf.printf "diameter: %s\n" (opt_cell (Metrics.diameter g));
@@ -245,11 +260,7 @@ let dynamics version n init seed max_rounds trace stats stats_json =
   Printf.printf "rounds: %d, moves: %d\n" r.Dynamics.rounds r.Dynamics.moves;
   Printf.printf "final m: %d, diameter: %s\n" (Graph.m r.Dynamics.final)
     (opt_cell (Metrics.diameter r.Dynamics.final));
-  let verified =
-    match version with
-    | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium r.Dynamics.final
-    | Usage_cost.Max -> Equilibrium.is_max_equilibrium r.Dynamics.final
-  in
+  let verified = Equilibrium.is_equilibrium version r.Dynamics.final in
   Printf.printf "equilibrium verified: %b\n" verified;
   Printf.printf "final graph6: %s\n" (Graph6.encode r.Dynamics.final);
   if trace then begin
@@ -286,33 +297,94 @@ let dynamics_cmd =
 
 (* --- census --------------------------------------------------------------- *)
 
-let census version n trees jobs stats stats_json =
+(* shared by the in-process and the distributed paths, so the
+   distributed run's stdout is byte-identical to the sequential one
+   (CI diffs them; dispatch accounting goes to stderr) *)
+let print_tree_census (c : Census.tree_census) =
+  Printf.printf "labeled trees: %d\n" c.Census.total;
+  Printf.printf "equilibria: %d (stars %d, double stars %d)\n" c.Census.equilibria
+    c.Census.stars c.Census.double_stars;
+  Printf.printf "max equilibrium diameter: %d\n" c.Census.max_eq_diameter
+
+let print_graph_census (c : Census.graph_census) =
+  Printf.printf "connected graphs: %d\n" c.Census.connected;
+  Printf.printf "equilibria: %d labeled, %d up to isomorphism\n"
+    c.Census.equilibria_labeled
+    (List.length c.Census.equilibria_iso);
+  Printf.printf "diameter histogram: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (d, k) -> Printf.sprintf "%d -> %d" d k)
+          c.Census.diameter_histogram));
+  List.iter
+    (fun g -> Printf.printf "  representative: %s\n" (Graph6.encode g))
+    c.Census.equilibria_iso
+
+let census version n trees jobs workers parts retries timeout journal stats
+    stats_json =
   with_stats stats stats_json @@ fun () ->
-  with_jobs jobs @@ fun pool ->
-  if trees then begin
-    let c = Census.tree_census ~pool version n in
-    Printf.printf "labeled trees: %d\n" c.Census.total;
-    Printf.printf "equilibria: %d (stars %d, double stars %d)\n" c.Census.equilibria
-      c.Census.stars c.Census.double_stars;
-    Printf.printf "max equilibrium diameter: %d\n" c.Census.max_eq_diameter;
-    `Ok ()
-  end
+  if workers = [] then
+    with_jobs jobs @@ fun pool ->
+    if trees then begin
+      print_tree_census (Census.tree_census ~pool version n);
+      `Ok ()
+    end
+    else begin
+      print_graph_census (Census.graph_census ~pool version n);
+      `Ok ()
+    end
   else begin
-    let c = Census.graph_census ~pool version n in
-    Printf.printf "connected graphs: %d\n" c.Census.connected;
-    Printf.printf "equilibria: %d labeled, %d up to isomorphism\n"
-      c.Census.equilibria_labeled
-      (List.length c.Census.equilibria_iso);
-    Printf.printf "diameter histogram: %s\n"
-      (String.concat ", "
-         (List.map
-            (fun (d, k) -> Printf.sprintf "%d -> %d" d k)
-            c.Census.diameter_histogram));
-    List.iter
-      (fun g -> Printf.printf "  representative: %s\n" (Graph6.encode g))
-      c.Census.equilibria_iso;
-    `Ok ()
+    let kind = if trees then Census.Trees else Census.Graphs in
+    let workers =
+      List.mapi
+        (fun i -> function
+          | `Local -> Dispatch.Local (Printf.sprintf "local-%d" i)
+          | `Remote addr -> Dispatch.Remote addr)
+        workers
+    in
+    let cfg =
+      {
+        Dispatch.default_config with
+        Dispatch.workers;
+        parts;
+        max_attempts = retries;
+        timeout;
+        journal;
+      }
+    in
+    match Dispatch.run cfg (Census.full_shard kind version n) with
+    | Error msg -> `Error (false, msg)
+    | Ok (result, st) ->
+      (match result with
+      | Census.Tree_result c -> print_tree_census c
+      | Census.Graph_result c -> print_graph_census c);
+      Printf.eprintf
+        "dispatch: %d shards, %d journal hits, %d dispatched, %d retried, %d recovered\n"
+        st.Dispatch.shards st.Dispatch.journal_hits st.Dispatch.dispatched
+        st.Dispatch.retried st.Dispatch.recovered;
+      if st.Dispatch.blacklisted <> [] then
+        Printf.eprintf "dispatch: blacklisted workers: %s\n"
+          (String.concat ", " st.Dispatch.blacklisted);
+      `Ok ()
   end
+
+let worker_conv =
+  let parse s =
+    if String.equal s "local" then Ok `Local
+    else
+      match parse_address s with
+      | Ok addr -> Ok (`Remote addr)
+      | Error (`Msg _) ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "expected local, unix:PATH or tcp:HOST:PORT, got %S" s))
+  in
+  let pp ppf = function
+    | `Local -> Format.pp_print_string ppf "local"
+    | `Remote addr -> Serve.pp_address ppf addr
+  in
+  Arg.conv (parse, pp)
 
 let census_cmd =
   let version =
@@ -320,14 +392,55 @@ let census_cmd =
   in
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Vertex count (graphs <= 8, trees <= 10).") in
   let trees = Arg.(value & flag & info [ "trees" ] ~doc:"Census over trees instead of all connected graphs.") in
-  let run version n trees jobs stats stats_json =
-    try census version n trees jobs stats stats_json
+  let workers =
+    let doc =
+      "Distribute the census across this worker fleet instead of running \
+       in-process: a comma-separated list of $(b,local) (an in-process \
+       worker running shards on its own domain), $(b,unix:PATH) or \
+       $(b,tcp:HOST:PORT) (a $(b,bncg serve) endpoint). Failed or \
+       straggling workers are retried, backed off and blacklisted; the \
+       merged census is identical to the in-process one."
+    in
+    Arg.(value & opt (list worker_conv) [] & info [ "workers" ] ~docv:"W,W,..." ~doc)
+  in
+  let parts =
+    let doc =
+      "Number of shards to split the census into (0 means 4 per worker)."
+    in
+    Arg.(value & opt int 0 & info [ "parts" ] ~docv:"N" ~doc)
+  in
+  let retries =
+    let doc = "Give up after a shard fails this many times across workers." in
+    Arg.(
+      value
+      & opt int Dispatch.default_config.Dispatch.max_attempts
+      & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let timeout =
+    let doc = "Per-shard reply deadline for remote workers, in seconds." in
+    Arg.(
+      value
+      & opt float Dispatch.default_config.Dispatch.timeout
+      & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  let journal =
+    let doc =
+      "Append each completed shard to $(docv); a rerun with the same \
+       arguments and journal resumes, recomputing only missing shards."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let run version n trees jobs workers parts retries timeout journal stats
+      stats_json =
+    try census version n trees jobs workers parts retries timeout journal stats stats_json
     with Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "census" ~doc:"Exhaustively classify equilibria on small vertex counts")
     Term.(
-      ret (const run $ version $ n $ trees $ jobs_arg $ stats_arg $ stats_json_arg))
+      ret
+        (const run $ version $ n $ trees $ jobs_arg $ workers $ parts $ retries
+        $ timeout $ journal $ stats_arg $ stats_json_arg))
 
 (* --- experiment -------------------------------------------------------------- *)
 
@@ -435,28 +548,7 @@ let audit_cmd =
 
 (* --- serve / call --------------------------------------------------------- *)
 
-(* "unix:PATH" or "tcp:HOST:PORT"; the shared address syntax of
-   bncg serve --listen and bncg call --addr *)
-let address_conv =
-  let parse s =
-    match String.index_opt s ':' with
-    | Some i when String.sub s 0 i = "unix" && String.length s > i + 1 ->
-      Ok (Serve.Unix_sock (String.sub s (i + 1) (String.length s - i - 1)))
-    | Some i when String.sub s 0 i = "tcp" -> (
-      let rest = String.sub s (i + 1) (String.length s - i - 1) in
-      match String.rindex_opt rest ':' with
-      | Some j -> (
-        let host = String.sub rest 0 j in
-        let host = if host = "" then "127.0.0.1" else host in
-        match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
-        | Some port when port >= 0 && port < 65536 -> Ok (Serve.Tcp (host, port))
-        | _ -> Error (`Msg (Printf.sprintf "bad port in %S" s)))
-      | None -> Error (`Msg (Printf.sprintf "expected tcp:HOST:PORT, got %S" s)))
-    | _ ->
-      Error
-        (`Msg (Printf.sprintf "expected unix:PATH or tcp:HOST:PORT, got %S" s))
-  in
-  Arg.conv (parse, Serve.pp_address)
+let address_conv = Arg.conv (parse_address, Serve.pp_address)
 
 let serve listen jobs cache max_bytes max_vertices slice timeout stats stats_json =
   if listen = [] then

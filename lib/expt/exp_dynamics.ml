@@ -30,10 +30,7 @@ let collect version sizes seed_count init =
       let eq_verified =
         List.length
           (List.filter
-             (fun r ->
-               match version with
-               | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium r.Dynamics.final
-               | Usage_cost.Max -> Equilibrium.is_max_equilibrium r.Dynamics.final)
+             (fun r -> Equilibrium.is_equilibrium version r.Dynamics.final)
              converged)
       in
       let spread_ok =

@@ -54,15 +54,10 @@ let merge_tally a b =
   }
 
 let classify_tree version tally g =
-  let generic_eq =
-    match version with
-    | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium ?pool:None
-    | Usage_cost.Max -> Equilibrium.is_max_equilibrium ?pool:None
-  in
   let record_eq g =
     (* the shape classification is cheap; cross-validate every accepted
        tree against the generic checker so the census is fully verified *)
-    assert (generic_eq g);
+    assert (Equilibrium.is_equilibrium version g);
     tally.t_equilibria <- tally.t_equilibria + 1;
     if Tree_eq.is_star g then tally.t_stars <- tally.t_stars + 1;
     if Tree_eq.is_double_star g then
@@ -130,16 +125,6 @@ let tree_census ?pool version n =
   in
   census_of_tally n tally
 
-let tree_census_in version n ~lo ~hi =
-  let total = Enumerate.count_trees n in
-  if lo < 0 || hi > total || lo > hi then
-    invalid_arg "Census.tree_census_in: bad rank range";
-  let t0 = Telemetry.start () in
-  let tally = fresh_tally () in
-  Enumerate.trees_in n ~lo ~hi (classify_tree version tally);
-  Telemetry.stop m_shard t0;
-  census_of_tally n tally
-
 let merge_tree_census a b =
   if a.n <> b.n then invalid_arg "Census.merge_tree_census: different n";
   {
@@ -178,15 +163,10 @@ let graph_shard_of_range version n ~lo ~hi =
   let labeled = ref 0 in
   let seen = Hashtbl.create 64 in
   let reps = ref [] in
-  let is_eq =
-    match version with
-    | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium ?pool:None
-    | Usage_cost.Max -> Equilibrium.is_max_equilibrium ?pool:None
-  in
   let t0 = Telemetry.start () in
   Enumerate.connected_graphs_in n ~lo ~hi (fun g ->
       incr connected;
-      if is_eq g then begin
+      if Equilibrium.is_equilibrium version g then begin
         incr labeled;
         let key = Canon.canonical_form g in
         if Hashtbl.mem seen key then Telemetry.incr m_canon_hits
@@ -243,12 +223,6 @@ let graph_census ?pool version n =
   in
   census_of_graph_shard n shard
 
-let graph_census_in version n ~lo ~hi =
-  let total = Enumerate.graph_mask_count n in
-  if lo < 0 || hi > total || lo > hi then
-    invalid_arg "Census.graph_census_in: bad mask range";
-  census_of_graph_shard n (graph_shard_of_range version n ~lo ~hi)
-
 let merge_graph_census a b =
   (* the serving layer splits a requested shard into deadline-checked
      sub-ranges; merging re-deduplicates representatives by canonical
@@ -270,3 +244,96 @@ let merge_graph_census a b =
     }
   in
   census_of_graph_shard a.n shard
+
+(* --- unified shard API ---------------------------------------------------- *)
+
+type kind = Trees | Graphs
+
+type shard = {
+  kind : kind;
+  version : Usage_cost.version;
+  n : int;
+  lo : int;
+  hi : int;
+}
+
+type result = Tree_result of tree_census | Graph_result of graph_census
+
+let kind_name = function Trees -> "trees" | Graphs -> "graphs"
+
+let kind_of_name = function
+  | "trees" -> Some Trees
+  | "graphs" -> Some Graphs
+  | _ -> None
+
+let max_shard_vertices = function
+  | Trees -> Enumerate.max_tree_vertices
+  | Graphs -> Enumerate.max_graph_vertices
+
+let shard_space kind n =
+  match kind with
+  | Trees -> Enumerate.count_trees n
+  | Graphs -> Enumerate.graph_mask_count n
+
+let validate_shard s =
+  let max_n = max_shard_vertices s.kind in
+  if s.n < 1 || s.n > max_n then
+    Error
+      (Printf.sprintf "census n must be in [1, %d] for kind %s, got %d" max_n
+         (kind_name s.kind) s.n)
+  else begin
+    let space = shard_space s.kind s.n in
+    if s.lo < 0 || s.hi > space || s.lo > s.hi then
+      Error
+        (Printf.sprintf "shard range must satisfy 0 <= lo <= hi <= %d" space)
+    else Ok ()
+  end
+
+let full_shard kind version n =
+  if n < 1 || n > max_shard_vertices kind then
+    invalid_arg
+      (Printf.sprintf "Census.full_shard: n must be in [1, %d] for kind %s"
+         (max_shard_vertices kind) (kind_name kind));
+  { kind; version; n; lo = 0; hi = shard_space kind n }
+
+let run_shard s =
+  (match validate_shard s with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Census.run_shard: " ^ msg));
+  match s.kind with
+  | Trees ->
+    let t0 = Telemetry.start () in
+    let tally = fresh_tally () in
+    Enumerate.trees_in s.n ~lo:s.lo ~hi:s.hi (classify_tree s.version tally);
+    Telemetry.stop m_shard t0;
+    Tree_result (census_of_tally s.n tally)
+  | Graphs ->
+    Graph_result
+      (census_of_graph_shard s.n
+         (graph_shard_of_range s.version s.n ~lo:s.lo ~hi:s.hi))
+
+let split s ~parts =
+  if parts < 1 then invalid_arg "Census.split: parts must be >= 1";
+  let width = s.hi - s.lo in
+  if width = 0 then [ s ]
+  else begin
+    let k = min parts width in
+    List.init k (fun i ->
+        { s with lo = s.lo + (i * width / k); hi = s.lo + ((i + 1) * width / k) })
+  end
+
+let merge_result a b =
+  match (a, b) with
+  | Tree_result a, Tree_result b -> Tree_result (merge_tree_census a b)
+  | Graph_result a, Graph_result b -> Graph_result (merge_graph_census a b)
+  | _ -> invalid_arg "Census.merge_result: mixed census kinds"
+
+let tree_census_in version n ~lo ~hi =
+  match run_shard { kind = Trees; version; n; lo; hi } with
+  | Tree_result c -> c
+  | Graph_result _ -> assert false
+
+let graph_census_in version n ~lo ~hi =
+  match run_shard { kind = Graphs; version; n; lo; hi } with
+  | Graph_result c -> c
+  | Tree_result _ -> assert false

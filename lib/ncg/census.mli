@@ -37,14 +37,6 @@ type graph_census = {
   max_diameter : int;
 }
 
-val tree_census_in : Usage_cost.version -> int -> lo:int -> hi:int -> tree_census
-(** One shard of the tree census: only the trees of Prüfer rank
-    [lo .. hi - 1] (see {!Enumerate.trees_in}). [total] counts the trees
-    in the range. Disjoint adjacent shards merged with
-    {!merge_tree_census} equal the full census — this is the unit of work
-    of the serving layer's [census-shard] method.
-    @raise Invalid_argument unless [0 <= lo <= hi <= n^(n-2)]. *)
-
 val merge_tree_census : tree_census -> tree_census -> tree_census
 (** Counts add, [max_eq_diameter] maxes. Requires equal [n]. *)
 
@@ -55,14 +47,82 @@ val graph_census : ?pool:Pool.t -> Usage_cost.version -> int -> graph_census
     across domains; counts, representatives (first of each class in mask
     order) and histogram equal the sequential results. *)
 
+val merge_graph_census : graph_census -> graph_census -> graph_census
+(** Counts add; representatives are re-deduplicated by canonical form
+    with the lower-mask shard winning, so folding disjoint adjacent
+    shards in order reproduces the full census. Requires equal [n]. *)
+
+(** {1 Unified shard API}
+
+    One descriptor for "a contiguous piece of a census" — the unit of
+    work shared by the serving layer's [census-shard] method, the
+    distributed dispatcher ({!Dispatch} in [lib/serve]) and the journal
+    format. Ranks are Prüfer ranks for {!Trees} and edge-subset masks
+    for {!Graphs}; disjoint adjacent shards merged in ascending rank
+    order reproduce the full census exactly. *)
+
+type kind = Trees | Graphs
+
+type shard = {
+  kind : kind;
+  version : Usage_cost.version;
+  n : int;
+  lo : int;  (** inclusive start rank *)
+  hi : int;  (** exclusive end rank *)
+}
+
+type result = Tree_result of tree_census | Graph_result of graph_census
+
+val kind_name : kind -> string
+(** The wire name: ["trees"] or ["graphs"]. *)
+
+val kind_of_name : string -> kind option
+
+val max_shard_vertices : kind -> int
+(** {!Enumerate.max_tree_vertices} / {!Enumerate.max_graph_vertices}. *)
+
+val shard_space : kind -> int -> int
+(** Size of the full rank space on [n] vertices: [n^(n-2)] labeled trees
+    or [2^(n(n-1)/2)] edge masks. [n] must be within
+    {!max_shard_vertices}. *)
+
+val full_shard : kind -> Usage_cost.version -> int -> shard
+(** The whole census as a single shard: [lo = 0], [hi = shard_space].
+    @raise Invalid_argument when [n] is out of range. *)
+
+val validate_shard : shard -> (unit, string) Stdlib.result
+(** Total bounds check ([n] within the kind's cap, [0 <= lo <= hi <=]
+    {!shard_space}); the returned message is suitable for a structured
+    [invalid_params] reply. *)
+
+val run_shard : shard -> result
+(** Classify every tree/graph of the shard's rank range sequentially.
+    {!tree_census_in} and {!graph_census_in} are thin wrappers.
+    @raise Invalid_argument when {!validate_shard} fails. *)
+
+val split : shard -> parts:int -> shard list
+(** [split s ~parts] cuts [s] into at most [parts] contiguous,
+    near-equal, disjoint shards covering exactly [[s.lo, s.hi)], in
+    ascending rank order (fewer when the range is narrower than [parts];
+    an empty range stays a single empty shard). Deterministic, so a
+    resumed run with the same [parts] reproduces the same boundaries.
+    @raise Invalid_argument when [parts < 1]. *)
+
+val merge_result : result -> result -> result
+(** {!merge_tree_census} / {!merge_graph_census} behind one type.
+    The first argument must be the lower-rank shard.
+    @raise Invalid_argument on mixed kinds or different [n]. *)
+
+val tree_census_in : Usage_cost.version -> int -> lo:int -> hi:int -> tree_census
+(** One shard of the tree census: only the trees of Prüfer rank
+    [lo .. hi - 1] (see {!Enumerate.trees_in}). [total] counts the trees
+    in the range. Disjoint adjacent shards merged with
+    {!merge_tree_census} equal the full census.
+    @raise Invalid_argument unless [0 <= lo <= hi <= n^(n-2)]. *)
+
 val graph_census_in : Usage_cost.version -> int -> lo:int -> hi:int -> graph_census
 (** One shard of the graph census: only the connected graphs whose
     edge-subset mask lies in [[lo, hi)] (see
     {!Enumerate.connected_graphs_in}). [connected] counts the connected
     graphs in the range. @raise Invalid_argument unless
     [0 <= lo <= hi <= 2^(n(n-1)/2)]. *)
-
-val merge_graph_census : graph_census -> graph_census -> graph_census
-(** Counts add; representatives are re-deduplicated by canonical form
-    with the lower-mask shard winning, so folding disjoint adjacent
-    shards in order reproduces the full census. Requires equal [n]. *)

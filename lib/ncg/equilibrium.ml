@@ -98,13 +98,23 @@ let check_with ~agent_violation ?pool g =
   Telemetry.stop m_check t0;
   verdict
 
-let check_sum ?pool g = check_with ~agent_violation:agent_violation_sum ?pool g
+let check ?pool version g =
+  let agent_violation =
+    match version with
+    | Usage_cost.Sum -> agent_violation_sum
+    | Usage_cost.Max -> agent_violation_max
+  in
+  check_with ~agent_violation ?pool g
 
-let is_sum_equilibrium ?pool g = check_sum ?pool g = Equilibrium
+let is_equilibrium ?pool version g = check ?pool version g = Equilibrium
 
-let check_max ?pool g = check_with ~agent_violation:agent_violation_max ?pool g
+let check_sum ?pool g = check ?pool Usage_cost.Sum g
 
-let is_max_equilibrium ?pool g = check_max ?pool g = Equilibrium
+let is_sum_equilibrium ?pool g = is_equilibrium ?pool Usage_cost.Sum g
+
+let check_max ?pool g = check ?pool Usage_cost.Max g
+
+let is_max_equilibrium ?pool g = is_equilibrium ?pool Usage_cost.Max g
 
 (* Ascending non-neighbor candidates of [v], filled into one right-sized
    array — the k-swap/insertion enumerators below call this per vertex,

@@ -16,6 +16,18 @@ type verdict =
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
+(** {1 Version-generic entry points}
+
+    Callers that carry a {!Usage_cost.version} value (the censuses, the
+    serving layer, the hunter, the CLI) go through these instead of
+    pattern-matching the version at every call site. *)
+
+val check : ?pool:Pool.t -> Usage_cost.version -> Graph.t -> verdict
+(** [check version g] is {!check_sum} for [Sum] and {!check_max} for
+    [Max]; [?pool] as below. *)
+
+val is_equilibrium : ?pool:Pool.t -> Usage_cost.version -> Graph.t -> bool
+
 (** {1 Sum version} *)
 
 val check_sum : ?pool:Pool.t -> Graph.t -> verdict

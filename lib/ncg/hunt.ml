@@ -107,11 +107,7 @@ let run rng cfg =
   let evaluated = ref 0 in
   let best_violations = ref max_int in
   let found = ref None in
-  let verify g =
-    match cfg.version with
-    | Usage_cost.Sum -> Equilibrium.is_sum_equilibrium g
-    | Usage_cost.Max -> Equilibrium.is_max_equilibrium g
-  in
+  let verify g = Equilibrium.is_equilibrium cfg.version g in
   let restart = ref 0 in
   while !found = None && !restart < cfg.restarts do
     Telemetry.incr m_restarts;

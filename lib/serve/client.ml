@@ -1,0 +1,77 @@
+(* Typed requests over the raw line client in [Serve]. Every call is
+   total from the caller's point of view: socket errors, timeouts,
+   malformed replies and structured server errors all come back as
+   [Error message]. The connection is NOT safe to reuse after an
+   [Error] — a timed-out call may leave its reply in flight, so the
+   next call would read the previous answer. The dispatcher closes and
+   reconnects on any failure for exactly this reason. *)
+
+type t = {
+  addr : Serve.address;
+  raw : Serve.client;
+  mutable next_id : int;
+}
+
+let address c = c.addr
+
+let connect ?timeout addr =
+  match Serve.connect ?timeout addr with
+  | raw -> Ok { addr; raw; next_id = 1 }
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Format.asprintf "connect %a: %s" Serve.pp_address addr
+         (Unix.error_message e))
+  | exception Invalid_argument msg | exception Failure msg -> Error msg
+
+let close c = Serve.close_client c.raw
+
+let with_client ?timeout addr f =
+  match connect ?timeout addr with
+  | Error _ as e -> e
+  | Ok c -> Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+let call c ~meth params decode =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  let line = Rpc.render_request ~id:(Jsonx.Int id) ~meth params in
+  match Serve.call c.raw line with
+  | exception Failure msg -> Error msg
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | reply -> (
+    match Jsonx.parse reply with
+    | Error msg -> Error ("malformed reply: " ^ msg)
+    | Ok json -> (
+      if Jsonx.member "id" json <> Some (Jsonx.Int id) then
+        Error "reply id does not match request"
+      else
+        match Jsonx.member "ok" json with
+        | Some (Jsonx.Bool true) -> (
+          match Jsonx.member "result" json with
+          | Some result -> decode result
+          | None -> Error "reply missing \"result\"")
+        | Some (Jsonx.Bool false) ->
+          let get k =
+            match Option.bind (Jsonx.member "error" json) (Jsonx.member k) with
+            | Some (Jsonx.Str s) -> s
+            | _ -> "?"
+          in
+          Error (Printf.sprintf "%s: %s" (get "code") (get "message"))
+        | _ -> Error "reply missing \"ok\""))
+
+let ping c =
+  call c ~meth:"ping" (Jsonx.Obj []) (function
+    | Jsonx.Str "pong" -> Ok ()
+    | other -> Error ("unexpected ping result: " ^ Jsonx.to_string other))
+
+let protocol_version c =
+  call c ~meth:"stats" (Jsonx.Obj []) (fun result ->
+      (* a pre-versioning server omits the field; per the compatibility
+         rule that means protocol version 1 *)
+      match Jsonx.member "protocol_version" result with
+      | Some (Jsonx.Int v) -> Ok v
+      | None -> Ok 1
+      | Some other ->
+        Error ("unexpected protocol_version: " ^ Jsonx.to_string other))
+
+let census_shard c shard =
+  call c ~meth:"census-shard" (Rpc.shard_params shard) Rpc.census_result_of_json

@@ -1,0 +1,37 @@
+(** Minimal blocking typed client for [bncg serve] endpoints.
+
+    One request in flight per connection, answered in order; every
+    request line carries ["v": ]{!Rpc.protocol_version}. All entry
+    points return [Error message] instead of raising — socket errors,
+    timeouts, malformed replies and structured server errors alike.
+
+    A connection is {e not} safe to reuse after an [Error]: a timed-out
+    call may leave its reply in flight on the stream, desynchronizing
+    every later call. Close it and reconnect (the {!Dispatch}
+    orchestrator does exactly that). *)
+
+type t
+
+val connect : ?timeout:float -> Serve.address -> (t, string) result
+(** [timeout] (default 30s) bounds each individual call's wait for a
+    reply, not the whole connection lifetime. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_client :
+  ?timeout:float -> Serve.address -> (t -> ('a, string) result) -> ('a, string) result
+
+val address : t -> Serve.address
+
+val ping : t -> (unit, string) result
+
+val protocol_version : t -> (int, string) result
+(** The version advertised by the server's [stats] result; a
+    pre-versioning server that omits the field reports 1. *)
+
+val census_shard : t -> Census.shard -> (Census.result, string) result
+(** Run one census shard remotely and decode the reply back into the
+    library's census types. The decoded result is value-identical to
+    {!Census.run_shard} on the same descriptor (graph6 round-trips
+    representatives exactly). *)

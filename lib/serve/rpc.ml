@@ -1,21 +1,16 @@
-type census_kind = Trees | Graphs
+let protocol_version = 1
 
 type request =
   | Ping
   | Stats
   | Info of { g6 : string; graph : Graph.t }
   | Check of { version : Usage_cost.version; g6 : string; graph : Graph.t }
-  | Census_shard of {
-      kind : census_kind;
-      version : Usage_cost.version;
-      n : int;
-      lo : int;
-      hi : int;
-    }
+  | Census_shard of Census.shard
 
 type error_code =
   | Parse_error
   | Invalid_request
+  | Unsupported_version
   | Unknown_method
   | Invalid_params
   | Bad_graph6
@@ -26,6 +21,7 @@ type error_code =
 let error_code_name = function
   | Parse_error -> "parse_error"
   | Invalid_request -> "invalid_request"
+  | Unsupported_version -> "unsupported_version"
   | Unknown_method -> "unknown_method"
   | Invalid_params -> "invalid_params"
   | Bad_graph6 -> "bad_graph6"
@@ -57,6 +53,25 @@ let parse_request line =
       | Error msg -> Error (Jsonx.Null, Invalid_request, msg)
       | Ok id -> (
         let fail code msg = Error (id, code, msg) in
+        (* envelope version: absent means 1 (the pre-versioning wire
+           format); anything this server does not speak gets a structured
+           refusal so old servers and new clients fail loudly, not
+           confusingly *)
+        let version_ok =
+          match Jsonx.member "v" json with
+          | None -> Ok ()
+          | Some (Jsonx.Int v) when v = protocol_version -> Ok ()
+          | Some (Jsonx.Int v) ->
+            Error
+              ( Unsupported_version,
+                Printf.sprintf
+                  "protocol version %d is not supported (this server speaks %d)"
+                  v protocol_version )
+          | Some _ -> Error (Invalid_request, "\"v\" must be an integer")
+        in
+        match version_ok with
+        | Error (code, msg) -> fail code msg
+        | Ok () -> (
         let params = Option.value ~default:(Jsonx.Obj []) (Jsonx.member "params" json) in
         let str_param k = Option.bind (Jsonx.member k params) Jsonx.to_str in
         let int_param k = Option.bind (Jsonx.member k params) Jsonx.to_int in
@@ -102,10 +117,12 @@ let parse_request line =
               | Ok version -> (
                 let kind =
                   match str_param "kind" with
-                  | Some "trees" -> Ok Trees
-                  | Some "graphs" -> Ok Graphs
-                  | Some s ->
-                    Error (Printf.sprintf "unknown kind %S (expected trees or graphs)" s)
+                  | Some s -> (
+                    match Census.kind_of_name s with
+                    | Some k -> Ok k
+                    | None ->
+                      Error
+                        (Printf.sprintf "unknown kind %S (expected trees or graphs)" s))
                   | None -> Error "missing params.kind"
                 in
                 match (kind, int_param "n", int_param "lo", int_param "hi") with
@@ -114,10 +131,10 @@ let parse_request line =
                 | _, _, None, _ -> fail Invalid_params "missing integer params.lo"
                 | _, _, _, None -> fail Invalid_params "missing integer params.hi"
                 | Ok kind, Some n, Some lo, Some hi ->
-                  Ok (id, Census_shard { kind; version; n; lo; hi })))
+                  Ok (id, Census_shard { Census.kind; version; n; lo; hi })))
             | _ -> fail Unknown_method (Printf.sprintf "unknown method %S" meth))
           | _ -> fail Invalid_request "params must be an object")
-        | Some _ -> fail Invalid_request "method must be a string"))
+        | Some _ -> fail Invalid_request "method must be a string")))
     | _ -> Error (Jsonx.Null, Invalid_request, "request must be a JSON object"))
 
 (* --- result builders ----------------------------------------------------- *)
@@ -139,6 +156,7 @@ let info_result g =
       ("max_degree", Jsonx.Int (Graph.max_degree g));
       ("wiener", opt_int (Metrics.wiener_index g));
       ("graph6", Jsonx.Str (Graph6.encode g));
+      ("protocol_version", Jsonx.Int protocol_version);
     ]
 
 let check_result version verdict g =
@@ -203,6 +221,118 @@ let graph_census_result (c : Census.graph_census) =
              c.Census.diameter_histogram) );
       ("max_diameter", Jsonx.Int c.Census.max_diameter);
     ]
+
+let census_result = function
+  | Census.Tree_result c -> tree_census_result c
+  | Census.Graph_result c -> graph_census_result c
+
+(* --- census result decoders ----------------------------------------------- *)
+
+(* Inverses of the builders above, for the two readers of census result
+   JSON outside the server: the typed client decoding worker replies and
+   the dispatcher's journal replaying checkpointed shards. Total — any
+   shape mismatch is an [Error], never an exception. *)
+
+let int_field json k =
+  match Jsonx.member k json with
+  | Some (Jsonx.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "census result: missing integer %S" k)
+
+let ( let* ) = Result.bind
+
+let tree_census_of_json json =
+  let* n = int_field json "n" in
+  let* total = int_field json "total" in
+  let* equilibria = int_field json "equilibria" in
+  let* stars = int_field json "stars" in
+  let* double_stars = int_field json "double_stars" in
+  let* max_eq_diameter = int_field json "max_eq_diameter" in
+  let* witnesses_verified = int_field json "witnesses_verified" in
+  Ok
+    {
+      Census.n;
+      total;
+      equilibria;
+      stars;
+      double_stars;
+      max_eq_diameter;
+      witnesses_verified;
+    }
+
+let decode_each decode l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+      match decode x with
+      | Ok y -> go (y :: acc) rest
+      | Error _ as e -> e)
+  in
+  go [] l
+
+let graph_census_of_json json =
+  let* n = int_field json "n" in
+  let* connected = int_field json "connected" in
+  let* equilibria_labeled = int_field json "equilibria_labeled" in
+  let* equilibria_iso =
+    match Jsonx.member "equilibria_iso" json with
+    | Some (Jsonx.List l) ->
+      decode_each
+        (function
+          | Jsonx.Str g6 -> Graph6.decode_result g6
+          | _ -> Error "census result: equilibria_iso entries must be strings")
+        l
+    | _ -> Error "census result: missing list \"equilibria_iso\""
+  in
+  let* diameter_histogram =
+    match Jsonx.member "diameter_histogram" json with
+    | Some (Jsonx.List l) ->
+      decode_each
+        (function
+          | Jsonx.List [ Jsonx.Int d; Jsonx.Int k ] -> Ok (d, k)
+          | _ -> Error "census result: diameter_histogram entries must be [d, k]")
+        l
+    | _ -> Error "census result: missing list \"diameter_histogram\""
+  in
+  let* max_diameter = int_field json "max_diameter" in
+  Ok
+    {
+      Census.n;
+      connected;
+      equilibria_labeled;
+      equilibria_iso;
+      diameter_histogram;
+      max_diameter;
+    }
+
+let census_result_of_json json =
+  match Jsonx.member "kind" json with
+  | Some (Jsonx.Str "trees") ->
+    Result.map (fun c -> Census.Tree_result c) (tree_census_of_json json)
+  | Some (Jsonx.Str "graphs") ->
+    Result.map (fun c -> Census.Graph_result c) (graph_census_of_json json)
+  | _ -> Error "census result: missing \"kind\" (trees or graphs)"
+
+(* --- request builders ----------------------------------------------------- *)
+
+let shard_params (s : Census.shard) =
+  Jsonx.Obj
+    [
+      ("kind", Jsonx.Str (Census.kind_name s.Census.kind));
+      ("game", Jsonx.Str (Usage_cost.version_name s.Census.version));
+      ("n", Jsonx.Int s.Census.n);
+      ("lo", Jsonx.Int s.Census.lo);
+      ("hi", Jsonx.Int s.Census.hi);
+    ]
+
+let render_request ?(id = Jsonx.Null) ~meth params =
+  Jsonx.to_string
+    (Jsonx.Obj
+       [
+         ("v", Jsonx.Int protocol_version);
+         ("id", id);
+         ("method", Jsonx.Str meth);
+         ("params", params);
+       ])
 
 (* --- response envelopes -------------------------------------------------- *)
 

@@ -7,12 +7,18 @@
     the socket machinery so tests can assert byte-identical responses
     against direct library calls.
 
-    A request is [{"id": <int|string|null>, "method": <string>,
-    "params": <object>}] ([id] and [params] optional); a response echoes
-    the id as [{"id": .., "ok": true, "result": ..}] or
+    A request is [{"v": <int>, "id": <int|string|null>,
+    "method": <string>, "params": <object>}] ([v], [id] and [params]
+    optional — a missing ["v"] means protocol version 1, the
+    pre-versioning wire format); a response echoes the id as
+    [{"id": .., "ok": true, "result": ..}] or
     [{"id": .., "ok": false, "error": {"code", "message"}}]. *)
 
-type census_kind = Trees | Graphs
+val protocol_version : int
+(** The version this build speaks (1). A request carrying any other
+    ["v"] is refused with {!Unsupported_version}; [info] and [stats]
+    results advertise the value so clients can probe before dispatching
+    work. *)
 
 (** A parsed, validated request. Graph-carrying methods keep the raw
     graph6 text alongside the decoded graph — it is the exact-match
@@ -22,17 +28,15 @@ type request =
   | Stats
   | Info of { g6 : string; graph : Graph.t }
   | Check of { version : Usage_cost.version; g6 : string; graph : Graph.t }
-  | Census_shard of {
-      kind : census_kind;
-      version : Usage_cost.version;
-      n : int;
-      lo : int;
-      hi : int;
-    }
+  | Census_shard of Census.shard
+      (** Range bounds are parsed, not validated — the server answers
+          out-of-range shards with [invalid_params] via
+          {!Census.validate_shard}. *)
 
 type error_code =
   | Parse_error  (** the line is not valid JSON *)
   | Invalid_request  (** valid JSON, wrong envelope shape *)
+  | Unsupported_version  (** well-formed envelope, a ["v"] we don't speak *)
   | Unknown_method
   | Invalid_params
   | Bad_graph6  (** params well-shaped but the graph6 string is malformed *)
@@ -70,6 +74,33 @@ val verdict_is_invariant : Equilibrium.verdict -> bool
 val tree_census_result : Census.tree_census -> Jsonx.t
 
 val graph_census_result : Census.graph_census -> Jsonx.t
+
+val census_result : Census.result -> Jsonx.t
+(** {!tree_census_result} / {!graph_census_result} behind the unified
+    shard-result type. *)
+
+(** {1 Census result decoders}
+
+    Total inverses of the census builders, for the readers of result
+    JSON outside the server: the typed {!Client} decoding worker
+    replies, and the dispatcher's journal replaying checkpointed
+    shards. *)
+
+val tree_census_of_json : Jsonx.t -> (Census.tree_census, string) result
+
+val graph_census_of_json : Jsonx.t -> (Census.graph_census, string) result
+
+val census_result_of_json : Jsonx.t -> (Census.result, string) result
+(** Dispatches on the ["kind"] member. *)
+
+(** {1 Request builders} *)
+
+val shard_params : Census.shard -> Jsonx.t
+(** The [census-shard] params object for a shard descriptor. *)
+
+val render_request : ?id:Jsonx.t -> meth:string -> Jsonx.t -> string
+(** One request line (no trailing newline), always carrying
+    ["v": ]{!protocol_version}. *)
 
 (** {1 Response envelopes} *)
 

@@ -114,6 +114,7 @@ let stats_result srv =
   Mutex.unlock srv.cache_lock;
   Jsonx.Obj
     [
+      ("protocol_version", Jsonx.Int Rpc.protocol_version);
       ("requests", Jsonx.Int (Atomic.get srv.requests));
       ("ok", Jsonx.Int (Atomic.get srv.ok_count));
       ("errors", Jsonx.Int (Atomic.get srv.err_count));
@@ -203,10 +204,7 @@ let do_check srv ~deadline version (g6 : string) g =
         let verdict =
           Fun.protect
             ~finally:(fun () -> Mutex.unlock srv.pool_lock)
-            (fun () ->
-              match version with
-              | Usage_cost.Sum -> Equilibrium.check_sum ~pool:srv.pool g
-              | Usage_cost.Max -> Equilibrium.check_max ~pool:srv.pool g)
+            (fun () -> Equilibrium.check ~pool:srv.pool version g)
         in
         let r = Jsonx.to_string (Rpc.check_result version verdict g) in
         cache_add srv exact_key r;
@@ -218,66 +216,39 @@ let do_check srv ~deadline version (g6 : string) g =
         Ok r
       end)
 
-let do_census srv ~deadline kind version n lo hi =
-  let max_n =
-    match kind with
-    | Rpc.Trees -> Enumerate.max_tree_vertices
-    | Rpc.Graphs -> Enumerate.max_graph_vertices
-  in
-  if n < 1 || n > max_n then
-    Error
-      ( Rpc.Invalid_params,
-        Printf.sprintf "census n must be in [1, %d], got %d" max_n n )
-  else begin
-    let total =
-      match kind with
-      | Rpc.Trees -> Enumerate.count_trees n
-      | Rpc.Graphs -> Enumerate.graph_mask_count n
+let do_census srv ~deadline (shard : Census.shard) =
+  match Census.validate_shard shard with
+  | Error msg -> Error (Rpc.Invalid_params, msg)
+  | Ok () ->
+    (* deadline-checked slices: a shard is the client-facing unit of
+       parallelism (fan disjoint shards across requests), a slice is
+       the server-side unit of interruption *)
+    let slice = max 1 srv.cfg.census_slice in
+    let timeout_err =
+      ( Rpc.Timeout,
+        Printf.sprintf "deadline expired inside census shard [%d, %d)"
+          shard.Census.lo shard.Census.hi )
     in
-    if lo < 0 || hi > total || lo > hi then
-      Error
-        ( Rpc.Invalid_params,
-          Printf.sprintf "shard range must satisfy 0 <= lo <= hi <= %d" total )
-    else begin
-      (* deadline-checked slices: a shard is the client-facing unit of
-         parallelism (fan disjoint shards across requests), a slice is
-         the server-side unit of interruption *)
-      let slice = max 1 srv.cfg.census_slice in
-      let timeout_err =
-        ( Rpc.Timeout,
-          Printf.sprintf "deadline expired inside census shard [%d, %d)" lo hi )
-      in
-      match kind with
-      | Rpc.Trees ->
-        let rec go acc cursor =
-          if cursor >= hi then Ok (Jsonx.to_string (Rpc.tree_census_result acc))
-          else if past deadline then Error timeout_err
-          else
-            let stop = min hi (cursor + slice) in
-            let part = Census.tree_census_in version n ~lo:cursor ~hi:stop in
-            go (Census.merge_tree_census acc part) stop
-        in
-        go (Census.tree_census_in version n ~lo ~hi:lo) lo
-      | Rpc.Graphs ->
-        let rec go acc cursor =
-          if cursor >= hi then Ok (Jsonx.to_string (Rpc.graph_census_result acc))
-          else if past deadline then Error timeout_err
-          else
-            let stop = min hi (cursor + slice) in
-            let part = Census.graph_census_in version n ~lo:cursor ~hi:stop in
-            go (Census.merge_graph_census acc part) stop
-        in
-        go (Census.graph_census_in version n ~lo ~hi:lo) lo
-    end
-  end
+    let rec go acc cursor =
+      if cursor >= shard.Census.hi then
+        Ok (Jsonx.to_string (Rpc.census_result acc))
+      else if past deadline then Error timeout_err
+      else begin
+        let stop = min shard.Census.hi (cursor + slice) in
+        let part = Census.run_shard { shard with Census.lo = cursor; hi = stop } in
+        go (Census.merge_result acc part) stop
+      end
+    in
+    go
+      (Census.run_shard { shard with Census.hi = shard.Census.lo })
+      shard.Census.lo
 
 let dispatch srv ~deadline = function
   | Rpc.Ping -> Ok (Jsonx.to_string Rpc.ping_result)
   | Rpc.Stats -> Ok (Jsonx.to_string (stats_result srv))
   | Rpc.Info { g6; graph } -> do_info srv g6 graph
   | Rpc.Check { version; g6; graph } -> do_check srv ~deadline version g6 graph
-  | Rpc.Census_shard { kind; version; n; lo; hi } ->
-    do_census srv ~deadline kind version n lo hi
+  | Rpc.Census_shard shard -> do_census srv ~deadline shard
 
 (* Everything below the envelope goes through here: every line gets a
    reply, every exception becomes an [internal] error, the server never

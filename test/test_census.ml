@@ -86,6 +86,94 @@ let test_histogram_consistent () =
   let total = List.fold_left (fun acc (_, k) -> acc + k) 0 c.Census.diameter_histogram in
   check_int "histogram covers all classes" (List.length c.Census.equilibria_iso) total
 
+(* --- unified shard API ----------------------------------------------------- *)
+
+let test_split_properties () =
+  List.iter
+    (fun (kind, n) ->
+      let full = Census.full_shard kind Usage_cost.Sum n in
+      List.iter
+        (fun parts ->
+          let pieces = Census.split full ~parts in
+          check_true "at most parts pieces" (List.length pieces <= parts);
+          (* adjacent, ascending, covering exactly [lo, hi) *)
+          let cursor = ref full.Census.lo in
+          List.iter
+            (fun s ->
+              check_int "adjacent to predecessor" !cursor s.Census.lo;
+              check_true "non-empty piece" (s.Census.hi > s.Census.lo);
+              cursor := s.Census.hi)
+            pieces;
+          check_int "covers the range" full.Census.hi !cursor;
+          (* deterministic: a resumed run reproduces the boundaries *)
+          check_true "split is deterministic"
+            (pieces = Census.split full ~parts))
+        [ 1; 2; 3; 7; 16; 1000 ])
+    [ (Census.Trees, 5); (Census.Graphs, 4) ];
+  (* an empty range stays a single empty shard *)
+  let empty = { (Census.full_shard Census.Trees Usage_cost.Sum 5) with Census.lo = 9; hi = 9 } in
+  (match Census.split empty ~parts:4 with
+  | [ s ] -> check_true "empty shard preserved" (s.Census.lo = 9 && s.Census.hi = 9)
+  | pieces -> check_int "one piece" 1 (List.length pieces))
+
+let test_run_shard_matches_wrappers () =
+  let t = Census.full_shard Census.Trees Usage_cost.Max 5 in
+  let t = { t with Census.lo = 10; hi = 90 } in
+  (match Census.run_shard t with
+  | Census.Tree_result c ->
+    check_true "tree shard = tree_census_in"
+      (c = Census.tree_census_in Usage_cost.Max 5 ~lo:10 ~hi:90)
+  | Census.Graph_result _ -> check_true "tree kind" false);
+  let g = Census.full_shard Census.Graphs Usage_cost.Sum 4 in
+  let g = { g with Census.lo = 8; hi = 40 } in
+  match Census.run_shard g with
+  | Census.Graph_result c ->
+    check_int "graph shard = graph_census_in"
+      (Census.graph_census_in Usage_cost.Sum 4 ~lo:8 ~hi:40).Census.connected
+      c.Census.connected
+  | Census.Tree_result _ -> check_true "graph kind" false
+
+let test_merge_result_rejects_mixed () =
+  let t = Census.run_shard (Census.full_shard Census.Trees Usage_cost.Sum 4) in
+  let g = Census.run_shard (Census.full_shard Census.Graphs Usage_cost.Sum 4) in
+  Alcotest.check_raises "mixed kinds rejected"
+    (Invalid_argument "Census.merge_result: mixed census kinds") (fun () ->
+      ignore (Census.merge_result t g))
+
+(* Folding the pieces of a split via [merge_result] must reproduce the
+   full census byte-for-byte (rendered wire JSON) under ANY order of
+   merging adjacent pieces — the property the distributed dispatcher
+   leans on when shards complete out of order. The per-kind environment
+   (full render + per-piece results) is computed lazily once; QCheck
+   only drives the merge order. *)
+let render_result r = Jsonx.to_string (Rpc.census_result r)
+
+let merge_perm_env kind version n parts =
+  lazy
+    (let full = Census.full_shard kind version n in
+     let expected = render_result (Census.run_shard full) in
+     let results = List.map Census.run_shard (Census.split full ~parts) in
+     (expected, results))
+
+let merge_in_seeded_order env seed =
+  let expected, results = Lazy.force env in
+  let rng = Prng.create seed in
+  let rec merge_at i = function
+    | a :: b :: tl when i = 0 -> Census.merge_result a b :: tl
+    | a :: tl -> a :: merge_at (i - 1) tl
+    | [] -> assert false
+  in
+  let rec reduce = function
+    | [] -> assert false
+    | [ r ] -> r
+    | rs -> reduce (merge_at (Prng.int rng (List.length rs - 1)) rs)
+  in
+  String.equal expected (render_result (reduce results))
+
+let tree_perm_env = merge_perm_env Census.Trees Usage_cost.Sum 6 7
+
+let graph_perm_env = merge_perm_env Census.Graphs Usage_cost.Max 4 6
+
 let suite =
   [
     case "tree census sum (n <= 7)" test_tree_census_sum_small;
@@ -99,4 +187,13 @@ let suite =
     case "graph census max n=5" test_graph_census_max;
     slow_case "graph census max n=6 diameter 3" test_graph_census_max_diameter3_at_6;
     case "histogram consistency" test_histogram_consistent;
+    case "split: cover, adjacency, determinism" test_split_properties;
+    case "run_shard matches the census_in wrappers" test_run_shard_matches_wrappers;
+    case "merge_result rejects mixed kinds" test_merge_result_rejects_mixed;
+    qcheck ~count:40 "tree census: any adjacent-merge order is identical"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      (merge_in_seeded_order tree_perm_env);
+    qcheck ~count:40 "graph census: any adjacent-merge order is identical"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      (merge_in_seeded_order graph_perm_env);
   ]

@@ -160,8 +160,24 @@ let test_rpc_parse_ok () =
     req_of_string
       "{\"id\":1,\"method\":\"census-shard\",\"params\":{\"kind\":\"trees\",\"game\":\"sum\",\"n\":6,\"lo\":10,\"hi\":20}}"
   with
-  | Jsonx.Int 1, Rpc.Census_shard { kind = Rpc.Trees; n = 6; lo = 10; hi = 20; _ } -> ()
+  | ( Jsonx.Int 1,
+      Rpc.Census_shard
+        { Census.kind = Census.Trees; n = 6; lo = 10; hi = 20; _ } ) -> ()
   | _ -> Alcotest.fail "census-shard"
+
+let test_rpc_protocol_version () =
+  (* explicit "v":1 parses like the unversioned envelope *)
+  (match req_of_string "{\"v\":1,\"id\":7,\"method\":\"ping\"}" with
+  | Jsonx.Int 7, Rpc.Ping -> ()
+  | _ -> Alcotest.fail "v:1 ping");
+  (* a version we don't speak: structured refusal, id still echoed *)
+  (match err_of_string "{\"v\":2,\"id\":8,\"method\":\"ping\"}" with
+  | Jsonx.Int 8, Rpc.Unsupported_version -> ()
+  | _ -> Alcotest.fail "v:2 should be unsupported_version");
+  (* a malformed version is an envelope error, not a version error *)
+  match err_of_string "{\"v\":\"one\",\"method\":\"ping\"}" with
+  | _, Rpc.Invalid_request -> ()
+  | _ -> Alcotest.fail "non-integer v should be invalid_request"
 
 let test_rpc_parse_errors () =
   let check_code name expected s =
@@ -226,11 +242,7 @@ let path8 = Generators.path 8
 (* expected response bytes computed by direct library calls — the server
    must produce exactly these *)
 let expected_check ~id version g =
-  let verdict =
-    match version with
-    | Usage_cost.Sum -> Equilibrium.check_sum g
-    | Usage_cost.Max -> Equilibrium.check_max g
-  in
+  let verdict = Equilibrium.check version g in
   Rpc.render_ok ~id:(Jsonx.Int id)
     ~result:(Jsonx.to_string (Rpc.check_result version verdict g))
 
@@ -367,7 +379,23 @@ let test_e2e_census_shard () =
   in
   check_true "bad shard range rejected" (error_code_of reply = Some "invalid_params");
   check_str "still serving" "{\"id\":4,\"ok\":true,\"result\":\"pong\"}"
-    (Serve.call c "{\"id\":4,\"method\":\"ping\"}")
+    (Serve.call c "{\"id\":4,\"method\":\"ping\"}");
+  (* protocol versioning over the wire: a future version is refused with
+     a structured code, and stats advertises what this server speaks *)
+  let reply = Serve.call c "{\"v\":99,\"id\":5,\"method\":\"ping\"}" in
+  check_true "future version refused"
+    (error_code_of reply = Some "unsupported_version");
+  let stats = Serve.call c "{\"v\":1,\"id\":6,\"method\":\"stats\"}" in
+  let advertised =
+    match Jsonx.parse stats with
+    | Ok r ->
+      Option.bind
+        (Option.bind (Jsonx.member "result" r) (Jsonx.member "protocol_version"))
+        Jsonx.to_int
+    | Error _ -> None
+  in
+  check_true "stats advertises protocol_version"
+    (advertised = Some Rpc.protocol_version)
 
 let test_e2e_limits () =
   let sock = temp_sock "limits" in
@@ -433,6 +461,7 @@ let suite =
     case "jsonx: rejects malformed" test_jsonx_rejects;
     case "jsonx: total on fuzz" test_jsonx_total_fuzz;
     case "rpc: parses valid requests" test_rpc_parse_ok;
+    case "rpc: protocol versioning" test_rpc_protocol_version;
     case "rpc: error codes" test_rpc_parse_errors;
     case "rpc: envelopes" test_rpc_render;
     case "e2e: concurrent clients, byte-identical replies" test_e2e_concurrent_clients;
