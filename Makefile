@@ -22,15 +22,21 @@ bench-json:
 bench-compare:
 	dune exec bench/main.exe -- --quick --json /tmp/bncg_bench_fresh.json
 	dune exec bench/loadgen.exe -- --json /tmp/bncg_loadgen_fresh.json
+	dune exec bench/loadgen.exe -- --requests 100000 --pipeline 64 --conns 8 \
+	  --json /tmp/bncg_pipelined_fresh.json
 	dune exec bench/compare.exe -- --baseline BENCH_baseline.json \
-	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json
+	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json \
+	  /tmp/bncg_pipelined_fresh.json
 
 # refresh the committed baseline after an intentional perf change
 bench-baseline:
 	dune exec bench/main.exe -- --quick --json /tmp/bncg_bench_fresh.json
 	dune exec bench/loadgen.exe -- --json /tmp/bncg_loadgen_fresh.json
+	dune exec bench/loadgen.exe -- --requests 100000 --pipeline 64 --conns 8 \
+	  --json /tmp/bncg_pipelined_fresh.json
 	dune exec bench/compare.exe -- --merge BENCH_baseline.json \
-	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json
+	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json \
+	  /tmp/bncg_pipelined_fresh.json
 
 # distributed-census acceptance gate: healthy / flaky / crash / resume
 # phases over real sockets, each gated on byte-identity with the

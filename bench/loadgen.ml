@@ -8,6 +8,15 @@
      dune exec bench/loadgen.exe -- --json FILE       -- {benchmark, ns_per_run}
                                                          rows, same shape as
                                                          bench/main.exe
+     dune exec bench/loadgen.exe -- --pipeline 64 --conns 8
+                                                      -- pipelined mode: each
+                                                         connection writes 64
+                                                         request lines in one
+                                                         syscall, then reads the
+                                                         64 replies in order
+     dune exec bench/loadgen.exe -- --pipeline 64 --min-rps 60000
+                                                      -- also fail (exit 1) under
+                                                         a throughput floor
 
    Workload classes, round-robin by request index:
      check-star    sum-check of a star on 9 vertices with a rotating
@@ -36,6 +45,15 @@ let malformed = ref false
 
 let json = ref None
 
+(* pipelined mode: 0 = off (one request in flight per client, the legacy
+   latency-shaped load); N > 0 = each connection writes N request lines
+   in a single syscall and then reads the N replies in order *)
+let pipeline = ref 0
+
+let conns = ref 0 (* pipelined connections; 0 = --clients *)
+
+let min_rps = ref 0.0 (* throughput floor; 0 = no gate *)
+
 let () =
   let rec scan = function
     | [] -> ()
@@ -48,6 +66,15 @@ let () =
     | "--jobs" :: v :: rest ->
       jobs := int_of_string v;
       scan rest
+    | "--pipeline" :: v :: rest ->
+      pipeline := int_of_string v;
+      scan rest
+    | "--conns" :: v :: rest ->
+      conns := int_of_string v;
+      scan rest
+    | "--min-rps" :: v :: rest ->
+      min_rps := float_of_string v;
+      scan rest
     | "--malformed" :: rest ->
       malformed := true;
       scan rest
@@ -57,7 +84,8 @@ let () =
     | arg :: _ ->
       Printf.eprintf
         "loadgen: unknown argument %s (expected --requests N, --clients N, \
-         --jobs N, --malformed, --json FILE)\n"
+         --jobs N, --pipeline DEPTH, --conns K, --min-rps F, --malformed, \
+         --json FILE)\n"
         arg;
       exit 2
   in
@@ -199,6 +227,56 @@ let client_thread addr lo hi tallies =
       Printf.eprintf "loadgen: request %d died: %s\n" i (Printexc.to_string e)
   done
 
+(* Pipelined: batch [depth] request lines into one newline-joined write
+   (Serve.send_line appends the final newline, so the batch reaches the
+   kernel in a single syscall), then read the [depth] replies in order.
+   Response order is the server's per-connection contract, so reply [k]
+   must carry the id of request [k] — a reordering shows up as [bad]. *)
+let pipelined_thread addr lo hi depth tallies =
+  Serve.with_client addr @@ fun c ->
+  let i = ref lo in
+  while !i < hi do
+    let batch = min depth (hi - !i) in
+    let lines = List.init batch (fun k ->
+        let idx = !i + k in
+        (class_of idx).request ~id:idx idx)
+    in
+    let t0 = Unix.gettimeofday () in
+    (match
+       Serve.send_line c (String.concat "\n" lines);
+       List.init batch (fun _ -> Serve.recv_line c)
+     with
+    | replies ->
+      let ns_each =
+        (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int batch
+      in
+      List.iteri
+        (fun k reply ->
+          let idx = !i + k in
+          let cls = class_of idx in
+          let t = tallies.(idx mod n_classes) in
+          t.count <- t.count + 1;
+          t.total_ns <- t.total_ns +. ns_each;
+          if ns_each > t.max_ns then t.max_ns <- ns_each;
+          match (response_ok ~well_formed:cls.well_formed idx reply, cls.well_formed) with
+          | `Ok, true -> ()
+          | `Err, false -> ()
+          | `Err, true -> t.errors <- t.errors + 1
+          | `Ok, false -> t.bad <- t.bad + 1
+          | `Bad, _ -> t.bad <- t.bad + 1)
+        replies
+    | exception e ->
+      List.iteri
+        (fun k _ ->
+          let t = tallies.((!i + k) mod n_classes) in
+          t.count <- t.count + 1;
+          t.bad <- t.bad + 1)
+        lines;
+      Printf.eprintf "loadgen: pipelined batch at %d died: %s\n" !i
+        (Printexc.to_string e));
+    i := !i + batch
+  done
+
 (* --- run ----------------------------------------------------------------- *)
 
 let () =
@@ -216,16 +294,32 @@ let () =
   in
   let srv = Serve.start cfg in
   let addr = List.hd (Serve.bound_addresses srv) in
-  let n = !requests and c = max 1 !clients in
-  Printf.printf "loadgen: %d requests, %d clients, %d pool jobs, %d classes\n%!"
-    n c !jobs n_classes;
+  let n = !requests in
+  let depth = max 0 !pipeline in
+  let c =
+    if depth > 0 then max 1 (if !conns > 0 then !conns else !clients)
+    else max 1 !clients
+  in
+  if depth > 0 then
+    Printf.printf
+      "loadgen: %d requests pipelined depth %d over %d conns, %d pool jobs, %d \
+       classes (backend %s, %d workers)\n%!"
+      n depth c !jobs n_classes (Serve.backend_name srv)
+      (Serve.worker_count srv)
+  else
+    Printf.printf "loadgen: %d requests, %d clients, %d pool jobs, %d classes\n%!"
+      n c !jobs n_classes;
   (* per-thread tallies, merged after join: no cross-thread mutation *)
   let per_thread = Array.init c (fun _ -> Array.init n_classes (fun _ -> fresh_tally ())) in
   let wall0 = Unix.gettimeofday () in
   let threads =
     List.init c (fun t ->
         let lo = t * n / c and hi = (t + 1) * n / c in
-        Thread.create (fun () -> client_thread addr lo hi per_thread.(t)) ())
+        Thread.create
+          (fun () ->
+            if depth > 0 then pipelined_thread addr lo hi depth per_thread.(t)
+            else client_thread addr lo hi per_thread.(t))
+          ())
   in
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. wall0 in
@@ -279,14 +373,23 @@ let () =
   (match !json with
   | None -> ()
   | Some path ->
+    (* pipelined runs measure throughput, not per-request latency: one
+       row, the wall-clock cost per request, under its own name so the
+       perf gate tracks the two modes independently *)
     let rows =
-      List.mapi
-        (fun k cls ->
-          ( "serve-loadgen/" ^ cls.name,
-            if merged.(k).count = 0 then Float.nan
-            else merged.(k).total_ns /. float_of_int merged.(k).count ))
-        classes
-      @ [ ("serve-loadgen/wall-per-request", wall *. 1e9 /. float_of_int (max 1 total)) ]
+      if depth > 0 then
+        [
+          ( "serve-pipelined/wall-per-request",
+            wall *. 1e9 /. float_of_int (max 1 total) );
+        ]
+      else
+        List.mapi
+          (fun k cls ->
+            ( "serve-loadgen/" ^ cls.name,
+              if merged.(k).count = 0 then Float.nan
+              else merged.(k).total_ns /. float_of_int merged.(k).count ))
+          classes
+        @ [ ("serve-loadgen/wall-per-request", wall *. 1e9 /. float_of_int (max 1 total)) ]
     in
     let oc = open_out path in
     output_string oc "[\n";
@@ -315,6 +418,12 @@ let () =
   end;
   if hits <= 0 then begin
     Printf.eprintf "loadgen: FAILED — expected cache hits > 0, server reports %d\n" hits;
+    exit 1
+  end;
+  let rps = float_of_int total /. wall in
+  if !min_rps > 0.0 && rps < !min_rps then begin
+    Printf.eprintf "loadgen: FAILED — %.0f req/s under the --min-rps %.0f floor\n"
+      rps !min_rps;
     exit 1
   end;
   print_endline "loadgen: OK"

@@ -550,7 +550,8 @@ let audit_cmd =
 
 let address_conv = Arg.conv (parse_address, Serve.pp_address)
 
-let serve listen jobs cache max_bytes max_vertices slice timeout stats stats_json =
+let serve listen jobs workers cache shards max_bytes max_vertices slice timeout
+    stats stats_json =
   if listen = [] then
     `Error (false, "at least one --listen address is required")
   else
@@ -559,11 +560,14 @@ let serve listen jobs cache max_bytes max_vertices slice timeout stats stats_jso
       {
         Serve.addresses = listen;
         jobs;
+        workers;
         cache_capacity = cache;
+        cache_shards = shards;
         max_request_bytes = max_bytes;
         max_graph_vertices = max_vertices;
         census_slice = slice;
         request_timeout = timeout;
+        write_high_water = Serve.default_config.Serve.write_high_water;
       }
     in
     match
@@ -587,11 +591,25 @@ let serve_cmd =
     in
     Arg.(value & opt_all address_conv [] & info [ "l"; "listen" ] ~docv:"ADDR" ~doc)
   in
+  let workers =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Event-loop worker domains (0 = all available cores).")
+  in
   let cache =
     Arg.(
       value
       & opt int Serve.default_config.Serve.cache_capacity
       & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (entries).")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.cache_shards
+      & info [ "cache-shards" ] ~docv:"N"
+          ~doc:"Result-cache shard count (0 = default).")
   in
   let max_bytes =
     Arg.(
@@ -622,8 +640,8 @@ let serve_cmd =
        ~doc:"Run the batching RPC server (newline-delimited JSON over unix/tcp sockets)")
     Term.(
       ret
-        (const serve $ listen $ jobs_arg $ cache $ max_bytes $ max_vertices
-       $ slice $ timeout $ stats_arg $ stats_json_arg))
+        (const serve $ listen $ jobs_arg $ workers $ cache $ shards $ max_bytes
+       $ max_vertices $ slice $ timeout $ stats_arg $ stats_json_arg))
 
 let call addr timeout meth game g6 kind n lo hi raw =
   let request =

@@ -1,0 +1,86 @@
+(* N independent mutex-guarded Lru shards, shard picked by key hash.
+   Hot-path cost per operation is one hash, one lock, one Lru op — and
+   under K event-loop domains the probability two of them contend on the
+   same shard lock is ~1/shards instead of 1. *)
+
+type 'v shard = { lock : Mutex.t; lru : (string, 'v) Lru.t }
+
+type 'v t = {
+  shards : 'v shard array;
+  mask : int;  (* shard count - 1; shard count is a power of two *)
+}
+
+let rec pow2_at_least k n = if k >= n then k else pow2_at_least (2 * k) n
+
+let create ?(shards = 8) ~capacity () =
+  if capacity < 1 then invalid_arg "Lru_sharded.create: capacity < 1";
+  if shards < 1 then invalid_arg "Lru_sharded.create: shards < 1";
+  let count = pow2_at_least 1 shards in
+  let per_shard = max 1 ((capacity + count - 1) / count) in
+  {
+    shards =
+      Array.init count (fun _ ->
+          { lock = Mutex.create (); lru = Lru.create ~capacity:per_shard });
+    mask = count - 1;
+  }
+
+let shard_count t = Array.length t.shards
+
+let shard_of t key = t.shards.(Hashtbl.hash key land t.mask)
+
+let find t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let r = Lru.find s.lru key in
+  Mutex.unlock s.lock;
+  r
+
+let add t key v =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  Lru.add s.lru key v;
+  Mutex.unlock s.lock
+
+let remove t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  Lru.remove s.lru key;
+  Mutex.unlock s.lock
+
+let fold_shards t f zero =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let r = f acc s.lru in
+      Mutex.unlock s.lock;
+      r)
+    zero t.shards
+
+let length t = fold_shards t (fun acc lru -> acc + Lru.length lru) 0
+
+let capacity t = fold_shards t (fun acc lru -> acc + Lru.capacity lru) 0
+
+let hits t = fold_shards t (fun acc lru -> acc + Lru.hits lru) 0
+
+let misses t = fold_shards t (fun acc lru -> acc + Lru.misses lru) 0
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Lru.clear s.lru;
+      Mutex.unlock s.lock)
+    t.shards
+
+type shard_stats = { size : int; hits : int; misses : int }
+
+let shard_stats t =
+  Array.map
+    (fun s ->
+      Mutex.lock s.lock;
+      let r =
+        { size = Lru.length s.lru; hits = Lru.hits s.lru; misses = Lru.misses s.lru }
+      in
+      Mutex.unlock s.lock;
+      r)
+    t.shards

@@ -1,0 +1,56 @@
+(** Thread-safe sharded LRU cache over string keys.
+
+    The serving layer's result cache used to be one {!Lru} behind one
+    mutex — every connection thread serialized on it, and with per-core
+    event-loop domains that single lock would be the whole story of
+    scaling. This wrapper splits the capacity across a power-of-two
+    number of independently locked {!Lru} shards and routes each key by
+    hash, so concurrent lookups from different domains contend only when
+    they happen to hash to the same shard.
+
+    Eviction is per-shard LRU (each shard holds
+    [ceil(capacity / shards)] entries), not a global recency order: a
+    burst of inserts hashing to one shard can evict that shard's
+    entries while another shard still holds colder ones. Hit/miss
+    {e content} is unaffected — a present key is found regardless of
+    which shard holds it — which is what the serving layer's
+    byte-identity contract needs; only retention under eviction
+    pressure differs from the single-lock cache.
+
+    All operations are safe from any domain or thread. Aggregate
+    accessors ({!length}, {!hits}, ...) lock shards one at a time, so
+    they are consistent per shard but not a global atomic snapshot —
+    monitoring-grade, like the telemetry counters. *)
+
+type 'v t
+
+val create : ?shards:int -> capacity:int -> unit -> 'v t
+(** [capacity] is the {e total} entry budget, split evenly across
+    shards; [shards] (default 8) is rounded up to a power of two.
+    @raise Invalid_argument if [capacity < 1] or [shards < 1]. *)
+
+val shard_count : 'v t -> int
+
+val find : 'v t -> string -> 'v option
+(** Hit promotes within its shard and counts a shard hit. *)
+
+val add : 'v t -> string -> 'v -> unit
+
+val remove : 'v t -> string -> unit
+
+val clear : 'v t -> unit
+
+val length : 'v t -> int
+
+val capacity : 'v t -> int
+(** Sum of per-shard capacities — at least the requested capacity. *)
+
+val hits : 'v t -> int
+
+val misses : 'v t -> int
+
+type shard_stats = { size : int; hits : int; misses : int }
+
+val shard_stats : 'v t -> shard_stats array
+(** Per-shard occupancy and hit/miss counts, in shard-index order — the
+    payload of the serving layer's in-band [stats] method. *)

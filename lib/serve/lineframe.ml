@@ -1,0 +1,76 @@
+(* One growable byte buffer with three cursors: [start] (first
+   unconsumed byte), [len] (end of valid data), [scan] (how far the
+   newline search has looked, so repeatedly probing a slow-arriving line
+   stays linear in the bytes received, not quadratic). *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int;
+  mutable len : int;
+  mutable scan : int;
+  max_line : int;
+}
+
+let create ?(initial = 4096) ~max_line () =
+  if max_line < 1 then invalid_arg "Lineframe.create: max_line < 1";
+  if initial < 1 then invalid_arg "Lineframe.create: initial < 1";
+  { buf = Bytes.create initial; start = 0; len = 0; scan = 0; max_line }
+
+let pending t = t.len - t.start
+
+let reset t =
+  t.start <- 0;
+  t.len <- 0;
+  t.scan <- 0
+
+let feed t src off k =
+  if off < 0 || k < 0 || off + k > Bytes.length src then
+    invalid_arg "Lineframe.feed: out-of-bounds slice";
+  if t.len + k > Bytes.length t.buf then begin
+    (* compact first: consumed bytes at the front are free space *)
+    let live = t.len - t.start in
+    if t.start > 0 then begin
+      Bytes.blit t.buf t.start t.buf 0 live;
+      t.scan <- t.scan - t.start;
+      t.start <- 0;
+      t.len <- live
+    end;
+    if t.len + k > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while t.len + k > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end
+  end;
+  Bytes.blit src off t.buf t.len k;
+  t.len <- t.len + k
+
+let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* bounded in-place scan — no copy of the buffer per probe *)
+let rec find_nl buf i len =
+  if i >= len then -1
+  else if Bytes.unsafe_get buf i = '\n' then i
+  else find_nl buf (i + 1) len
+
+let next t =
+  let i = find_nl t.buf t.scan t.len in
+  if i < 0 then begin
+    t.scan <- t.len;
+    if pending t > t.max_line then `Overflow else `More
+  end
+  else begin
+    let stop = if i > t.start && Bytes.get t.buf (i - 1) = '\r' then i - 1 else i in
+    let line = Bytes.sub_string t.buf t.start (stop - t.start) in
+    t.start <- i + 1;
+    t.scan <- t.start;
+    if t.start = t.len then begin
+      t.start <- 0;
+      t.len <- 0;
+      t.scan <- 0
+    end;
+    `Line line
+  end

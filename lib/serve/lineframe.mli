@@ -1,0 +1,47 @@
+(** Incremental newline framing over arbitrary byte chunks.
+
+    The wire protocol is newline-delimited, but the kernel hands the
+    event loop arbitrary chunks: a request may arrive split at any byte
+    boundary — mid-UTF-8 sequence, mid-escape, even between a [\r] and
+    its [\n]. This module is the single framing implementation for the
+    server's connections and the blocking client, factored out so the
+    invariant is testable in isolation: {e feeding the same byte stream
+    in any chunking yields the same line sequence}
+    (seeded chunk-split fuzz in [test_lineframe.ml]).
+
+    Framing is byte-oriented: a line is the bytes up to the next [\n]
+    exclusive, with one trailing [\r] stripped (CRLF tolerance). Bytes
+    are copied exactly once into the frame buffer and once out into the
+    returned line; the buffer is reused across lines (compacted, grown
+    geometrically) so a long-lived connection allocates no per-request
+    buffers beyond the line strings themselves. *)
+
+type t
+
+val create : ?initial:int -> max_line:int -> unit -> t
+(** [max_line] bounds the bytes buffered while waiting for a newline;
+    past it, {!next} reports [`Overflow] — framing is lost and the
+    caller should reply once and close. [initial] (default 4096) is the
+    starting buffer size. @raise Invalid_argument if [max_line < 1] or
+    [initial < 1]. *)
+
+val feed : t -> bytes -> int -> int -> unit
+(** [feed t buf off len] appends [buf[off .. off+len)] to the frame.
+    @raise Invalid_argument on an out-of-bounds slice. *)
+
+val feed_string : t -> string -> unit
+(** Test convenience. *)
+
+val next : t -> [ `Line of string | `More | `Overflow ]
+(** Extract the next complete line. [`More]: no newline buffered yet.
+    [`Overflow]: more than [max_line] bytes buffered without a newline
+    ([next] keeps reporting it until {!reset}). A complete line longer
+    than [max_line] whose newline is already buffered is still returned
+    as [`Line] — the caller enforces its own request-size policy with
+    framing intact. *)
+
+val pending : t -> int
+(** Bytes buffered but not yet returned as lines. *)
+
+val reset : t -> unit
+(** Drop buffered bytes (keeps the allocated buffer). *)

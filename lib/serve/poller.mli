@@ -1,0 +1,85 @@
+(** Readiness multiplexer for the serving event loop.
+
+    [Unix.select] caps out at [FD_SETSIZE] (1024) descriptors and
+    silently corrupts its bitmasks past that, so the serving layer never
+    calls it: one-shot waits go through {!wait_readable} /
+    {!wait_writable} (poll(2) on a single descriptor) and the event loop
+    proper multiplexes through a {!t} — epoll(7) where the platform has
+    it (Linux), a poll(2)-backed emulation with identical semantics
+    everywhere else. Which one a process got is observable via
+    {!backend} ("epoll" or "poll").
+
+    Readiness is level-triggered under both backends: a descriptor with
+    unread input (or writable space, when write interest is registered)
+    is reported again on every {!wait} until drained, so a loop that
+    reads one bounded chunk per wakeup is fair across connections and
+    never loses events. Peer hangup reports as {e readable} — the
+    conventional shape: the reader drains what is buffered and then sees
+    EOF from [read].
+
+    All waits release the OCaml runtime lock, so other domains (pool
+    workers, sibling event loops) keep running while one loop is parked.
+
+    A {!t} is single-owner: exactly one domain registers, waits and
+    reads the ready set. There is no internal locking — cross-domain
+    wakeups are done by registering a pipe and writing a byte to it. *)
+
+type t
+
+val create : ?max_events:int -> unit -> t
+(** [max_events] (default 256) bounds the ready batch returned by one
+    {!wait}; excess ready descriptors surface on the next call
+    (level-triggered, nothing is lost).
+    @raise Invalid_argument if [max_events < 1]. *)
+
+val backend : t -> string
+(** ["epoll"] or ["poll"]. *)
+
+val available_backend : unit -> string
+(** What {!create} would pick on this platform, without creating. *)
+
+val close : t -> unit
+(** Release the kernel object (epoll fd) / tables. Idempotent; the
+    poller must not be used afterwards. *)
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register a descriptor with the given interest set.
+    @raise Failure if the kernel refuses (e.g. the fd is already
+    registered or invalid). *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Replace the interest set of a registered descriptor. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Deregister. No-op if the descriptor was never added ([remove] after
+    [Unix.close] is tolerated — the kernel already dropped epoll
+    registrations with the last close). *)
+
+val wait : t -> timeout_ms:int -> int
+(** Block until at least one registered descriptor is ready or the
+    timeout elapses ([-1] = forever, [0] = poll). Returns the number of
+    ready descriptors (0 on timeout or EINTR), readable through the
+    accessors below until the next [wait]. *)
+
+val ready_fd : t -> int -> Unix.file_descr
+(** [ready_fd p i] for [0 <= i < wait p ~timeout_ms]. *)
+
+val ready_read : t -> int -> bool
+(** Readable — includes peer hangup, so read() will not block. *)
+
+val ready_write : t -> int -> bool
+
+val ready_error : t -> int -> bool
+(** Error/invalid condition on the descriptor; close it. *)
+
+(** {1 One-shot waits}
+
+    Single-descriptor poll(2) round trips — the replacements for the
+    [Unix.select] timeouts the pre-event-loop server used (accept loops,
+    the blocking client). Safe for any fd number, unlike select. *)
+
+val wait_readable : Unix.file_descr -> float -> bool
+(** [wait_readable fd seconds] is [true] when [fd] is readable (or hung
+    up) within the timeout, [false] on timeout or EINTR. *)
+
+val wait_writable : Unix.file_descr -> float -> bool

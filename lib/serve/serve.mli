@@ -3,17 +3,29 @@
     [bncg serve] keeps a {!Pool} of worker domains warm and answers the
     newline-delimited JSON protocol of {!Rpc} over Unix domain sockets
     and TCP, so heavy traffic amortizes process and pool startup and —
-    through a bounded {!Lru} cache keyed by canonical graph form —
-    never recomputes an equilibrium check it has already answered for an
-    isomorphic graph.
+    through a bounded sharded {!Lru_sharded} cache keyed by canonical
+    graph form — never recomputes an equilibrium check it has already
+    answered for an isomorphic graph.
 
-    {b Concurrency model.} One accept thread per listening address and
-    one (sys)thread per connection; clients may pipeline any number of
-    request lines and responses come back in request order. Equilibrium
-    checks dispatch onto the shared domain pool (one region at a time, a
-    mutex serializes launchers); census shards run sequentially in
-    deadline-checked slices — the intended way to parallelize a census
-    is to fan disjoint [census-shard] ranges across requests.
+    {b Concurrency model.} An event-driven core: one accept thread per
+    listening address hands accepted sockets round-robin to a fixed set
+    of worker {e domains}, each running a level-triggered {!Poller}
+    (epoll on Linux, poll elsewhere) over its own set of non-blocking
+    connections. There is no per-connection thread; a worker owns its
+    connections exclusively, reads bounded chunks per wakeup (fair
+    across connections), and keeps one reusable read frame and write
+    buffer per connection. Clients may pipeline any number of request
+    lines; responses come back in request order because each worker
+    answers a connection's buffered lines synchronously, in arrival
+    order. When a connection's pending output exceeds
+    [write_high_water], the worker stops consuming its input (read
+    interest is paused) until the peer drains — a slow consumer
+    backpressures itself without stalling its worker's other
+    connections. Equilibrium checks dispatch onto the shared domain
+    pool (one region at a time, a mutex serializes launchers); census
+    shards run sequentially in deadline-checked slices — the intended
+    way to parallelize a census is to fan disjoint [census-shard]
+    ranges across requests.
 
     {b Caching.} [check] results are cached under the exact graph6 text
     and — when the verdict is isomorphism-invariant (equilibrium /
@@ -23,7 +35,8 @@
     vertices, so they are only ever served for the exact same labeled
     graph. The cache stores rendered JSON fragments: hits and misses
     emit byte-identical responses. [info] results are cached under the
-    exact text only.
+    exact text only. The cache is sharded ({!Lru_sharded}): worker
+    domains contend per shard, not globally; eviction is per-shard LRU.
 
     {b Robustness.} A request line over [max_request_bytes] gets a
     [too_large] error (and, when the overflow is detected before the
@@ -36,10 +49,14 @@
 
     {b Telemetry.} [serve.requests], [serve.ok], [serve.errors],
     [serve.connections], [serve.cache_hits]/[serve.cache_misses],
-    [serve.bytes_in]/[serve.bytes_out], a [serve.latency_us] histogram
-    and a [serve.in_flight] gauge — all visible via [--stats] and the
-    in-band [stats] method (the latter reports live values whether or
-    not telemetry is enabled). *)
+    [serve.bytes_in]/[serve.bytes_out], a [serve.latency_us] histogram,
+    a [serve.in_flight] gauge, and event-loop series:
+    [serve.evloop.wakeups], a [serve.evloop.ready_batch] histogram
+    (ready descriptors per wakeup) and a [serve.pipeline_depth]
+    histogram (requests answered per connection pump) — all visible via
+    [--stats] and the in-band [stats] method (the latter reports live
+    values, including per-shard cache occupancy and hit/miss counts,
+    whether or not telemetry is enabled). *)
 
 type address =
   | Unix_sock of string  (** filesystem path *)
@@ -50,7 +67,11 @@ val pp_address : Format.formatter -> address -> unit
 type config = {
   addresses : address list;
   jobs : int;  (** pool width; 0 = all available cores *)
+  workers : int;
+      (** event-loop domains; 0 = all available cores. Independent of
+          [jobs]: workers multiplex connections, the pool runs kernels *)
   cache_capacity : int;
+  cache_shards : int;  (** cache shard count; 0 = default (8) *)
   max_request_bytes : int;
   max_graph_vertices : int;
       (** upper bound on [Graph.n] accepted by [info] and [check] — the
@@ -58,28 +79,41 @@ type config = {
   census_slice : int;
       (** ranks/masks per deadline check inside a census shard *)
   request_timeout : float;  (** seconds; the cooperative deadline *)
+  write_high_water : int;
+      (** bytes of pending output per connection beyond which the worker
+          pauses reading that connection (backpressure) *)
 }
 
 val default_config : config
-(** No addresses; jobs 0; cache 4096 entries; 1 MiB requests; graphs to
-    512 vertices; 4096-rank census slices; 30 s deadline. *)
+(** No addresses; jobs 0; workers 0; cache 4096 entries in 8 shards;
+    1 MiB requests; graphs to 512 vertices; 4096-rank census slices;
+    30 s deadline; 1 MiB write high-water. *)
 
 type t
 
 val start : config -> t
 (** Bind every address (stale Unix-socket paths are replaced), spawn the
-    pool and the accept threads, and return. @raise Invalid_argument on
-    an empty address list or nonsensical limits; [Unix.Unix_error] if a
-    bind fails. *)
+    pool, the worker domains and the accept threads, and return.
+    @raise Invalid_argument on an empty address list or nonsensical
+    limits; [Unix.Unix_error] if a bind fails. *)
 
 val bound_addresses : t -> address list
 (** Addresses actually bound — a [Tcp (_, 0)] request shows its
     resolved ephemeral port. *)
 
+val backend_name : t -> string
+(** The readiness backend the event loop runs on: ["epoll"] or
+    ["poll"]. *)
+
+val worker_count : t -> int
+(** Number of event-loop worker domains actually spawned. *)
+
 val stop : t -> unit
-(** Graceful shutdown: stop accepting, let in-flight requests finish,
-    join every connection thread, shut the pool down (domains joined),
-    unlink Unix-socket paths. Idempotent. *)
+(** Graceful shutdown: join the accept threads (no new connections),
+    wake every worker, let each answer the complete request lines it has
+    already received and flush pending replies (bounded), join the
+    worker domains, shut the pool down (domains joined), unlink
+    Unix-socket paths. Idempotent. *)
 
 val run : ?on_ready:(t -> unit) -> config -> unit
 (** [start], call [on_ready] with the live server (e.g. to print
@@ -98,6 +132,15 @@ val call : client -> string -> string
 (** [call c line] sends one request line and returns the matching
     response line (without the newline). Raises [Failure] on timeout or
     a dropped connection. *)
+
+val send_line : client -> string -> unit
+(** Write one request line without waiting for the reply — the
+    pipelining half of {!call}. Pair with {!recv_line}. *)
+
+val recv_line : client -> string
+(** Read the next response line (without the newline), waiting up to the
+    client timeout. Responses arrive in request order, so [n] calls of
+    {!send_line} followed by [n] calls of [recv_line] match up 1:1. *)
 
 val close_client : client -> unit
 

@@ -1,0 +1,156 @@
+(* Lineframe: the serving layer's incremental newline framer. The core
+   contract is chunking-invariance — the same byte stream split at any
+   boundaries (including mid-UTF-8 sequence and mid-JSON-escape) must
+   produce the same line sequence — plus the overflow policy the server
+   leans on: a complete over-long line still frames (the caller enforces
+   size policy), only an unterminated buffer past the limit reports
+   [`Overflow]. *)
+
+open Test_helpers
+
+let check_str = Alcotest.(check string)
+
+let drain t =
+  let rec go acc =
+    match Lineframe.next t with
+    | `Line l -> go (l :: acc)
+    | `More -> List.rev acc
+    | `Overflow -> Alcotest.fail "unexpected overflow"
+  in
+  go []
+
+let test_basic () =
+  let t = Lineframe.create ~max_line:1024 () in
+  Lineframe.feed_string t "alpha\nbeta\ngam";
+  check_true "two lines" (drain t = [ "alpha"; "beta" ]);
+  check_int "partial retained" 3 (Lineframe.pending t);
+  Lineframe.feed_string t "ma\n";
+  check_true "completed" (drain t = [ "gamma" ])
+
+let test_crlf_and_blank () =
+  let t = Lineframe.create ~max_line:1024 () in
+  Lineframe.feed_string t "a\r\n\nb\n";
+  (* one CR stripped, blank line preserved as "" *)
+  check_true "crlf" (drain t = [ "a"; ""; "b" ])
+
+let test_empty_feed () =
+  let t = Lineframe.create ~max_line:64 () in
+  Lineframe.feed_string t "";
+  check_true "nothing" (drain t = []);
+  check_int "no pending" 0 (Lineframe.pending t)
+
+let test_overflow_without_newline () =
+  let t = Lineframe.create ~max_line:8 () in
+  Lineframe.feed_string t "0123456789";
+  (match Lineframe.next t with
+  | `Overflow -> ()
+  | `Line _ | `More -> Alcotest.fail "expected overflow");
+  (* overflow is sticky until reset *)
+  (match Lineframe.next t with
+  | `Overflow -> ()
+  | _ -> Alcotest.fail "overflow should persist");
+  Lineframe.reset t;
+  Lineframe.feed_string t "ok\n";
+  check_true "usable after reset" (drain t = [ "ok" ])
+
+let test_overlong_line_with_newline_frames () =
+  (* the newline arrives in the same buffer as the overrun: the framer
+     must deliver the complete line and keep the connection's framing —
+     the server replies too_large but stays in sync *)
+  let t = Lineframe.create ~max_line:8 () in
+  Lineframe.feed_string t "0123456789ab\nnext\n";
+  check_true "overlong line still frames"
+    (drain t = [ "0123456789ab"; "next" ])
+
+let test_torn_utf8_and_escape () =
+  (* "é" = C3 A9 split between feeds; a JSON "\n" escape split between
+     its backslash and 'n' — byte framing must not care *)
+  let t = Lineframe.create ~max_line:1024 () in
+  Lineframe.feed_string t "caf\xc3";
+  check_true "no line yet" (drain t = []);
+  Lineframe.feed_string t "\xa9\n{\"s\":\"a\\";
+  check_true "utf8 line" (drain t = [ "caf\xc3\xa9" ]);
+  Lineframe.feed_string t "nb\"}\n";
+  check_true "escape line" (drain t = [ "{\"s\":\"a\\nb\"}" ])
+
+let test_feed_offsets () =
+  let buf = Bytes.of_string "XXhello\nYY" in
+  let t = Lineframe.create ~max_line:64 () in
+  Lineframe.feed t buf 2 6;
+  Lineframe.feed t buf 8 0;
+  check_true "offset feed" (drain t = [ "hello" ])
+
+(* chunking invariance: a fixed corpus of lines (including empty lines,
+   long lines, UTF-8, JSON escapes, CRLF) serialized and split at seeded
+   random boundaries must always reframe to the same sequence *)
+let test_chunk_split_fuzz () =
+  let corpus =
+    [
+      "plain";
+      "";
+      "{\"id\":1,\"method\":\"check\",\"params\":{\"graph6\":\"H??@eOW\"}}";
+      "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80";
+      "esc \\\" \\n \\u00e9 tail";
+      String.make 300 'x';
+      "last";
+    ]
+  in
+  let stream =
+    String.concat ""
+      (List.mapi
+         (fun i l -> l ^ if i mod 3 = 1 then "\r\n" else "\n")
+         corpus)
+  in
+  let rng = Prng.create 0xf4a3 in
+  for _round = 1 to 200 do
+    let t = Lineframe.create ~max_line:4096 () in
+    let got = ref [] in
+    let pos = ref 0 in
+    let len = String.length stream in
+    while !pos < len do
+      let k = 1 + Prng.int rng (min 17 (len - !pos)) in
+      Lineframe.feed_string t (String.sub stream !pos k);
+      pos := !pos + k;
+      got := List.rev_append (drain t) !got
+    done;
+    let got = List.rev !got in
+    if got <> corpus then
+      Alcotest.failf "round reframed %d lines (want %d): %s"
+        (List.length got) (List.length corpus)
+        (String.concat "|" got)
+  done
+
+let test_byte_at_a_time () =
+  let stream = "a\nbb\r\n\nccc\n" in
+  let t = Lineframe.create ~max_line:16 () in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      Lineframe.feed_string t (String.make 1 ch);
+      got := List.rev_append (drain t) !got)
+    stream;
+  check_true "byte-at-a-time" (List.rev !got = [ "a"; "bb"; ""; "ccc" ])
+
+let test_rejects_bad_args () =
+  Alcotest.check_raises "max_line < 1"
+    (Invalid_argument "Lineframe.create: max_line < 1") (fun () ->
+      ignore (Lineframe.create ~max_line:0 ()));
+  let t = Lineframe.create ~max_line:8 () in
+  Alcotest.check_raises "bad feed range"
+    (Invalid_argument "Lineframe.feed: out-of-bounds slice") (fun () ->
+      Lineframe.feed t (Bytes.create 4) 2 8)
+
+let suite =
+  [
+    case "lines split across feeds" test_basic;
+    case "crlf stripped, blank kept" test_crlf_and_blank;
+    case "empty feed" test_empty_feed;
+    case "overflow without newline is sticky" test_overflow_without_newline;
+    case "over-long line with newline still frames"
+      test_overlong_line_with_newline_frames;
+    case "torn utf-8 and torn escapes reframe" test_torn_utf8_and_escape;
+    case "feed honors offsets" test_feed_offsets;
+    case "seeded chunk-split fuzz" test_chunk_split_fuzz;
+    case "byte-at-a-time" test_byte_at_a_time;
+    case "rejects bad arguments" test_rejects_bad_args;
+  ]

@@ -120,6 +120,90 @@ let test_against_model =
         ops
       && Lru.to_list c = !model)
 
+(* --- sharded wrapper ------------------------------------------------------ *)
+
+let test_sharded_basic () =
+  let c = Lru_sharded.create ~shards:4 ~capacity:64 () in
+  check_int "shard count" 4 (Lru_sharded.shard_count c);
+  check_true "capacity covers request" (Lru_sharded.capacity c >= 64);
+  check_int "empty" 0 (Lru_sharded.length c);
+  Lru_sharded.add c "a" 1;
+  Lru_sharded.add c "b" 2;
+  check_true "find a" (Lru_sharded.find c "a" = Some 1);
+  check_true "find b" (Lru_sharded.find c "b" = Some 2);
+  check_true "miss" (Lru_sharded.find c "z" = None);
+  check_int "len" 2 (Lru_sharded.length c);
+  check_int "hits" 2 (Lru_sharded.hits c);
+  check_int "misses" 1 (Lru_sharded.misses c);
+  Lru_sharded.remove c "a";
+  check_true "removed" (Lru_sharded.find c "a" = None);
+  Lru_sharded.clear c;
+  check_int "cleared" 0 (Lru_sharded.length c)
+
+let test_sharded_rounds_to_power_of_two () =
+  let c = Lru_sharded.create ~shards:5 ~capacity:100 () in
+  check_int "rounded up" 8 (Lru_sharded.shard_count c)
+
+let test_sharded_capacity_bound () =
+  (* whatever the hash spread, total occupancy never exceeds the sum of
+     per-shard capacities *)
+  let c = Lru_sharded.create ~shards:4 ~capacity:40 () in
+  for i = 0 to 999 do
+    Lru_sharded.add c (string_of_int i) i
+  done;
+  check_true "bounded" (Lru_sharded.length c <= Lru_sharded.capacity c);
+  check_true "retains something" (Lru_sharded.length c > 0)
+
+let test_sharded_stats_sum () =
+  let c = Lru_sharded.create ~shards:4 ~capacity:64 () in
+  for i = 0 to 49 do
+    Lru_sharded.add c (string_of_int i) i
+  done;
+  for i = 0 to 24 do
+    ignore (Lru_sharded.find c (string_of_int i))
+  done;
+  for i = 1000 to 1009 do
+    ignore (Lru_sharded.find c (string_of_int i))
+  done;
+  let stats = Lru_sharded.shard_stats c in
+  check_int "one record per shard" 4 (Array.length stats);
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 stats in
+  check_int "sizes sum" (Lru_sharded.length c)
+    (sum (fun s -> s.Lru_sharded.size));
+  check_int "hits sum" (Lru_sharded.hits c) (sum (fun s -> s.Lru_sharded.hits));
+  check_int "misses sum" (Lru_sharded.misses c)
+    (sum (fun s -> s.Lru_sharded.misses));
+  check_int "hits counted" 25 (Lru_sharded.hits c);
+  check_int "misses counted" 10 (Lru_sharded.misses c)
+
+let test_sharded_rejects () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Lru_sharded.create: capacity < 1") (fun () ->
+      ignore (Lru_sharded.create ~capacity:0 ()));
+  Alcotest.check_raises "shards 0"
+    (Invalid_argument "Lru_sharded.create: shards < 1") (fun () ->
+      ignore (Lru_sharded.create ~shards:0 ~capacity:8 ()))
+
+let test_sharded_concurrent_smoke () =
+  (* hammer one cache from several threads: no lost updates visible as
+     absent keys in the read-back phase, counters stay coherent *)
+  let c = Lru_sharded.create ~shards:8 ~capacity:10_000 () in
+  let threads =
+    List.init 4 (fun t ->
+        Thread.create
+          (fun () ->
+            for i = 0 to 999 do
+              let k = Printf.sprintf "%d:%d" t i in
+              Lru_sharded.add c k i;
+              if Lru_sharded.find c k <> Some i then
+                failwith ("lost own write " ^ k)
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  check_int "all retained under capacity" 4000 (Lru_sharded.length c);
+  check_int "all finds hit" 4000 (Lru_sharded.hits c)
+
 let suite =
   [
     case "basic add/find and counters" test_basic;
@@ -131,4 +215,11 @@ let suite =
     case "capacity one" test_capacity_one;
     case "rejects zero capacity" test_rejects_zero_capacity;
     test_against_model;
+    case "sharded: basic ops and counters" test_sharded_basic;
+    case "sharded: shard count rounds to power of two"
+      test_sharded_rounds_to_power_of_two;
+    case "sharded: occupancy bounded by capacity" test_sharded_capacity_bound;
+    case "sharded: per-shard stats sum to aggregates" test_sharded_stats_sum;
+    case "sharded: rejects bad arguments" test_sharded_rejects;
+    case "sharded: concurrent smoke" test_sharded_concurrent_smoke;
   ]

@@ -453,6 +453,140 @@ let test_e2e_violation_not_canonically_cached () =
         (Serve.call c (check_request ~id "sum" g)))
     [ p5; relabeled; p5 ]
 
+let test_e2e_pipelining_in_order () =
+  (* N mixed requests written as one batch before any reply is read:
+     the replies must come back 1:1 in request order, byte-identical to
+     what the same requests get sequentially *)
+  let sock = temp_sock "pipeline" in
+  let srv = Serve.start (e2e_config sock) in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  let n = 120 in
+  let items = List.init n workload_item in
+  let sequential =
+    Serve.with_client (Serve.Unix_sock sock) @@ fun c ->
+    List.map (fun (request, _) -> Serve.call c request) items
+  in
+  let pipelined =
+    Serve.with_client (Serve.Unix_sock sock) @@ fun c ->
+    List.iter (fun (request, _) -> Serve.send_line c request) items;
+    List.map (fun _ -> Serve.recv_line c) items
+  in
+  List.iteri
+    (fun i (seq, piped) ->
+      if not (String.equal seq piped) then
+        Alcotest.failf "reply %d differs: sequential %s, pipelined %s" i seq
+          piped)
+    (List.combine sequential pipelined);
+  (* and the pipelined replies satisfy the per-item expectations too *)
+  List.iteri
+    (fun i (reply, (_, expectation)) ->
+      match expectation with
+      | `Exact expected ->
+        if not (String.equal expected reply) then
+          Alcotest.failf "pipelined reply %d: expected %s, got %s" i expected
+            reply
+      | `Code code ->
+        if error_code_of reply <> Some code then
+          Alcotest.failf "pipelined reply %d: expected error %s, got %s" i code
+            reply)
+    (List.combine pipelined items)
+
+let test_e2e_backpressure_slow_consumer () =
+  (* connection A floods pings without reading a single reply; its
+     pending output crosses the tiny write_high_water, so the server
+     parks it instead of buffering without bound — and connection B,
+     served by the same worker pool, keeps getting answers meanwhile.
+     When A finally reads, every reply is there, in order. *)
+  let sock = temp_sock "backpressure" in
+  let cfg = { (e2e_config sock) with Serve.workers = 1; write_high_water = 512 } in
+  let srv = Serve.start cfg in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  let n = 2000 in
+  Serve.with_client (Serve.Unix_sock sock) @@ fun a ->
+  for i = 0 to n - 1 do
+    Serve.send_line a (Printf.sprintf "{\"id\":%d,\"method\":\"ping\"}" i)
+  done;
+  (* B makes progress while A's replies are parked *)
+  Serve.with_client (Serve.Unix_sock sock) (fun b ->
+      for i = 0 to 49 do
+        check_str "B served while A is parked"
+          (Printf.sprintf "{\"id\":%d,\"ok\":true,\"result\":\"pong\"}" (10000 + i))
+          (Serve.call b (Printf.sprintf "{\"id\":%d,\"method\":\"ping\"}" (10000 + i)))
+      done);
+  (* now drain A: all n replies, in order *)
+  for i = 0 to n - 1 do
+    check_str
+      (Printf.sprintf "A reply %d in order" i)
+      (Printf.sprintf "{\"id\":%d,\"ok\":true,\"result\":\"pong\"}" i)
+      (Serve.recv_line a)
+  done
+
+let test_e2e_stats_evloop () =
+  let sock = temp_sock "evstats" in
+  let cfg = { (e2e_config sock) with Serve.workers = 2; cache_shards = 4 } in
+  let srv = Serve.start cfg in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  check_int "worker_count" 2 (Serve.worker_count srv);
+  check_true "backend name"
+    (Serve.backend_name srv = "epoll" || Serve.backend_name srv = "poll");
+  Serve.with_client (Serve.Unix_sock sock) @@ fun c ->
+  (* some pipelined traffic so the depth histogram has mass *)
+  for i = 0 to 9 do
+    Serve.send_line c (Printf.sprintf "{\"id\":%d,\"method\":\"ping\"}" i)
+  done;
+  for _ = 0 to 9 do
+    ignore (Serve.recv_line c)
+  done;
+  let stats = Serve.call c "{\"id\":99,\"method\":\"stats\"}" in
+  let result =
+    match Jsonx.parse stats with
+    | Ok r -> Option.get (Jsonx.member "result" r)
+    | Error msg -> Alcotest.failf "stats reply unparseable: %s" msg
+  in
+  let ev = Option.get (Jsonx.member "evloop" result) in
+  check_true "backend advertised"
+    (Jsonx.member "backend" ev = Some (Jsonx.Str (Serve.backend_name srv)));
+  check_true "workers advertised" (Jsonx.member "workers" ev = Some (Jsonx.Int 2));
+  (match Option.bind (Jsonx.member "wakeups" ev) Jsonx.to_int with
+  | Some w when w > 0 -> ()
+  | other ->
+    Alcotest.failf "expected positive wakeups, got %s"
+      (match other with Some w -> string_of_int w | None -> "none"));
+  (match Option.bind (Jsonx.member "connections" ev) Jsonx.to_int with
+  | Some k when k >= 1 -> () (* at least this client *)
+  | _ -> Alcotest.fail "expected >= 1 open connection");
+  let hist_mass name =
+    match Jsonx.member name ev with
+    | Some (Jsonx.List buckets) ->
+      List.fold_left
+        (fun acc b -> match b with Jsonx.Int v -> acc + v | _ -> acc)
+        0 buckets
+    | _ -> Alcotest.failf "missing %s histogram" name
+  in
+  check_true "ready-batch histogram has mass" (hist_mass "ready_batch_log2" > 0);
+  check_true "pipeline-depth histogram has mass"
+    (hist_mass "pipeline_depth_log2" > 0);
+  (* per-shard cache stats: present, one per shard, sums match the
+     aggregate counters *)
+  let cache = Option.get (Jsonx.member "cache" result) in
+  match Jsonx.member "shards" cache with
+  | Some (Jsonx.List shards) ->
+    check_int "shard record count" 4 (List.length shards);
+    let sum field =
+      List.fold_left
+        (fun acc s ->
+          acc
+          + Option.value ~default:0 (Option.bind (Jsonx.member field s) Jsonx.to_int))
+        0 shards
+    in
+    let agg field =
+      Option.value ~default:(-1)
+        (Option.bind (Jsonx.member field cache) Jsonx.to_int)
+    in
+    check_int "shard sizes sum" (agg "size") (sum "size");
+    check_true "shard hits/misses reported" (sum "hits" + sum "misses" >= 0)
+  | _ -> Alcotest.fail "stats cache lacks shards"
+
 let suite =
   [
     case "jsonx: roundtrip" test_jsonx_roundtrip;
