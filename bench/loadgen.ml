@@ -241,10 +241,20 @@ let pipelined_thread addr lo hi depth tallies =
         let idx = !i + k in
         (class_of idx).request ~id:idx idx)
     in
+    (* read replies with an explicit in-order loop: List.init's
+       application order is unspecified, and reply k must be matched
+       against request lo+k *)
+    let recv_batch n =
+      let acc = ref [] in
+      for _ = 1 to n do
+        acc := Serve.recv_line c :: !acc
+      done;
+      List.rev !acc
+    in
     let t0 = Unix.gettimeofday () in
     (match
        Serve.send_line c (String.concat "\n" lines);
-       List.init batch (fun _ -> Serve.recv_line c)
+       recv_batch batch
      with
     | replies ->
       let ns_each =

@@ -272,19 +272,28 @@ let do_check srv ~deadline version (g6 : string) g =
         Error (Rpc.Timeout, "deadline expired before dispatch")
       else begin
         Mutex.lock srv.pool_lock;
+        (* the wait queued on [pool_lock] (behind a heavy check) counts
+           against the deadline too: do not burn pool time on a reply
+           the client has already given up on *)
         let verdict =
           Fun.protect
             ~finally:(fun () -> Mutex.unlock srv.pool_lock)
-            (fun () -> Equilibrium.check ~pool:srv.pool version g)
+            (fun () ->
+              if past deadline then None
+              else Some (Equilibrium.check ~pool:srv.pool version g))
         in
-        let r = Jsonx.to_string (Rpc.check_result version verdict g) in
-        Lru_sharded.add srv.cache exact_key r;
-        (* a violation witness names concrete vertices, so it is only
-           valid for this labeling — never serve it to an isomorphic
-           relabeling *)
-        if Rpc.verdict_is_invariant verdict then
-          Option.iter (fun k -> Lru_sharded.add srv.cache k r) canon_key;
-        Ok r
+        match verdict with
+        | None ->
+          Error (Rpc.Timeout, "deadline expired while queued for the pool")
+        | Some verdict ->
+          let r = Jsonx.to_string (Rpc.check_result version verdict g) in
+          Lru_sharded.add srv.cache exact_key r;
+          (* a violation witness names concrete vertices, so it is only
+             valid for this labeling — never serve it to an isomorphic
+             relabeling *)
+          if Rpc.verdict_is_invariant verdict then
+            Option.iter (fun k -> Lru_sharded.add srv.cache k r) canon_key;
+          Ok r
       end)
 
 let do_census srv ~deadline (shard : Census.shard) =
@@ -483,45 +492,64 @@ let worker_loop srv w =
   in
   (* process buffered complete lines while backpressure allows, flush,
      and recompute interest — the one driver for readable, writable and
-     drain-phase progress alike *)
+     drain-phase progress alike.
+
+     Process and flush alternate until neither makes progress: when line
+     processing pauses at the high-water mark and the flush then drains
+     the output (fast reader, roomy sndbuf), processing must resume —
+     stopping there would strand complete lines already sitting in
+     [c_frame], and with the rcvbuf empty no event would ever re-drive
+     this connection. *)
   let pump ?(ignore_high_water = false) c =
     let depth = ref 0 in
-    let continue = ref true in
-    while !continue && not c.c_closed do
-      if (not ignore_high_water) && out_pending c >= cfg.write_high_water then
-        continue := false
-      else
-        match Lineframe.next c.c_frame with
-        | `Line "" -> () (* blank keep-alive line *)
-        | `Line line ->
-          incr depth;
-          append_out c (process_request srv line)
-        | `More -> continue := false
-        | `Overflow ->
-          if not c.c_overflow then begin
-            (* the line overran the limit before its newline arrived:
-               framing is lost, so reply once and hang up *)
-            c.c_overflow <- true;
-            Atomic.incr srv.requests;
-            Telemetry.incr m_requests;
-            Atomic.incr srv.err_count;
-            Telemetry.incr m_errors;
-            append_out c
-              (Rpc.render_error ~id:Jsonx.Null Rpc.Too_large
-                 (Printf.sprintf "request exceeds %d bytes" cfg.max_request_bytes))
-          end;
+    let frame_exhausted = ref false in (* `More / `Overflow seen *)
+    let again = ref true in
+    while !again && not c.c_closed do
+      let continue = ref true in
+      while !continue && not c.c_closed do
+        if (not ignore_high_water) && out_pending c >= cfg.write_high_water then
           continue := false
+        else
+          match Lineframe.next c.c_frame with
+          | `Line "" -> () (* blank keep-alive line *)
+          | `Line line ->
+            incr depth;
+            append_out c (process_request srv line)
+          | `More ->
+            frame_exhausted := true;
+            continue := false
+          | `Overflow ->
+            if not c.c_overflow then begin
+              (* the line overran the limit before its newline arrived:
+                 framing is lost, so reply once and hang up *)
+              c.c_overflow <- true;
+              Atomic.incr srv.requests;
+              Telemetry.incr m_requests;
+              Atomic.incr srv.err_count;
+              Telemetry.incr m_errors;
+              append_out c
+                (Rpc.render_error ~id:Jsonx.Null Rpc.Too_large
+                   (Printf.sprintf "request exceeds %d bytes" cfg.max_request_bytes))
+            end;
+            frame_exhausted := true;
+            continue := false
+      done;
+      if c.c_closed then again := false
+      else begin
+        try_flush c;
+        again :=
+          (not c.c_closed)
+          && (not !frame_exhausted)
+          && (ignore_high_water || out_pending c < cfg.write_high_water)
+      end
     done;
     if !depth > 0 then begin
       hist_observe w.w_depth_hist !depth;
       Telemetry.observe m_depth !depth
     end;
-    if not c.c_closed then begin
-      try_flush c;
-      if not c.c_closed then
-        if out_pending c = 0 && (c.c_overflow || c.c_eof) then close_conn c
-        else update_interest c
-    end
+    if not c.c_closed then
+      if out_pending c = 0 && (c.c_overflow || c.c_eof) then close_conn c
+      else update_interest c
   in
   let handle_readable c =
     match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
@@ -672,18 +700,25 @@ let accept_loop srv fd =
       if Poller.wait_readable fd 0.2 then begin
         match Unix.accept ~cloexec:true fd with
         | conn_fd, _ ->
-          Unix.set_nonblock conn_fd;
-          (* latency over batching on TCP: responses are already written
-             in as few syscalls as the pipeline allows *)
-          (try Unix.setsockopt conn_fd Unix.TCP_NODELAY true
-           with Unix.Unix_error _ -> () (* unix-domain sockets *));
-          let w =
-            srv.workers.(Atomic.fetch_and_add srv.rr 1 mod nworkers)
-          in
-          Mutex.lock w.w_inbox_lock;
-          Queue.push conn_fd w.w_inbox;
-          Mutex.unlock w.w_inbox_lock;
-          wake w;
+          if Atomic.get srv.stopping then
+            (* raced with shutdown: the workers may already have drained
+               their inboxes for the last time, so serve nothing — hang
+               up promptly instead of parking the client forever *)
+            (try Unix.close conn_fd with Unix.Unix_error _ -> ())
+          else begin
+            Unix.set_nonblock conn_fd;
+            (* latency over batching on TCP: responses are already written
+               in as few syscalls as the pipeline allows *)
+            (try Unix.setsockopt conn_fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> () (* unix-domain sockets *));
+            let w =
+              srv.workers.(Atomic.fetch_and_add srv.rr 1 mod nworkers)
+            in
+            Mutex.lock w.w_inbox_lock;
+            Queue.push conn_fd w.w_inbox;
+            Mutex.unlock w.w_inbox_lock;
+            wake w
+          end;
           loop ()
         | exception
             Unix.Unix_error
@@ -692,10 +727,18 @@ let accept_loop srv fd =
                 _,
                 _ ) ->
           loop ()
+        | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+          (* fd exhaustion is transient — connections close and free
+             slots; back off briefly rather than killing the acceptor *)
+          (try Unix.sleepf 0.05
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          loop ()
       end
       else loop ()
   in
-  (try loop () with _ -> ());
+  (try loop ()
+   with e ->
+     Printf.eprintf "serve: accept loop died: %s\n%!" (Printexc.to_string e));
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* --- lifecycle ----------------------------------------------------------- *)
@@ -779,6 +822,16 @@ let stop srv =
       (fun w ->
         Option.iter Domain.join w.w_domain;
         w.w_domain <- None;
+        (* a worker can observe [stopping] on its own poll timeout and
+           run its final inbox drain before the accept threads exit; a
+           connection accepted in that window lands in an inbox nobody
+           reads again — close it here, after both sides have joined *)
+        Mutex.lock w.w_inbox_lock;
+        Queue.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          w.w_inbox;
+        Queue.clear w.w_inbox;
+        Mutex.unlock w.w_inbox_lock;
         try Unix.close w.w_wake_w with Unix.Unix_error _ -> ())
       srv.workers;
     Pool.shutdown srv.pool;

@@ -521,6 +521,34 @@ let test_e2e_backpressure_slow_consumer () =
       (Serve.recv_line a)
   done
 
+let test_e2e_pipeline_crosses_high_water () =
+  (* one batched write whose replies overflow a tiny write_high_water,
+     read by an active client: the server must alternate processing and
+     flushing until every buffered line is answered. Regression test for
+     the stall where pump stopped at the high-water mark, the flush
+     drained the output entirely (roomy sndbuf), and the complete lines
+     still in the frame were never pumped again — with the rcvbuf empty,
+     no event would ever re-drive the connection. *)
+  let sock = temp_sock "highwater" in
+  let cfg =
+    { (e2e_config sock) with Serve.workers = 1; write_high_water = 256 }
+  in
+  let srv = Serve.start cfg in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  let n = 200 in
+  Serve.with_client ~timeout:10.0 (Serve.Unix_sock sock) @@ fun c ->
+  (* a single send: the whole batch reaches the server in one read, so
+     per-send wake events cannot mask the stall *)
+  Serve.send_line c
+    (String.concat "\n"
+       (List.init n (fun i -> Printf.sprintf "{\"id\":%d,\"method\":\"ping\"}" i)));
+  for i = 0 to n - 1 do
+    check_str
+      (Printf.sprintf "reply %d past high water" i)
+      (Printf.sprintf "{\"id\":%d,\"ok\":true,\"result\":\"pong\"}" i)
+      (Serve.recv_line c)
+  done
+
 let test_e2e_stats_evloop () =
   let sock = temp_sock "evstats" in
   let cfg = { (e2e_config sock) with Serve.workers = 2; cache_shards = 4 } in
@@ -602,4 +630,8 @@ let suite =
     case "e2e: census shards merge like direct calls" test_e2e_census_shard;
     case "e2e: request and graph limits" test_e2e_limits;
     case "e2e: violation witnesses are labeling-exact" test_e2e_violation_not_canonically_cached;
+    case "e2e: pipelined replies in order, byte-identical" test_e2e_pipelining_in_order;
+    case "e2e: slow consumer does not stall others" test_e2e_backpressure_slow_consumer;
+    case "e2e: pipelined batch crosses write high water" test_e2e_pipeline_crosses_high_water;
+    case "e2e: stats reports event-loop telemetry" test_e2e_stats_evloop;
   ]
