@@ -24,9 +24,12 @@ bench-compare:
 	dune exec bench/loadgen.exe -- --json /tmp/bncg_loadgen_fresh.json
 	dune exec bench/loadgen.exe -- --requests 100000 --pipeline 64 --conns 8 \
 	  --json /tmp/bncg_pipelined_fresh.json
+	rm -rf /tmp/bncg_atlas_bench
+	dune exec bench/loadgen.exe -- --atlas /tmp/bncg_atlas_bench \
+	  --json /tmp/bncg_atlas_fresh.json
 	dune exec bench/compare.exe -- --baseline BENCH_baseline.json \
 	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json \
-	  /tmp/bncg_pipelined_fresh.json
+	  /tmp/bncg_pipelined_fresh.json /tmp/bncg_atlas_fresh.json
 
 # refresh the committed baseline after an intentional perf change
 bench-baseline:
@@ -34,9 +37,12 @@ bench-baseline:
 	dune exec bench/loadgen.exe -- --json /tmp/bncg_loadgen_fresh.json
 	dune exec bench/loadgen.exe -- --requests 100000 --pipeline 64 --conns 8 \
 	  --json /tmp/bncg_pipelined_fresh.json
+	rm -rf /tmp/bncg_atlas_bench
+	dune exec bench/loadgen.exe -- --atlas /tmp/bncg_atlas_bench \
+	  --json /tmp/bncg_atlas_fresh.json
 	dune exec bench/compare.exe -- --merge BENCH_baseline.json \
 	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json \
-	  /tmp/bncg_pipelined_fresh.json
+	  /tmp/bncg_pipelined_fresh.json /tmp/bncg_atlas_fresh.json
 
 # distributed-census acceptance gate: healthy / flaky / crash / resume
 # phases over real sockets, each gated on byte-identity with the

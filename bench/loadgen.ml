@@ -17,6 +17,17 @@
      dune exec bench/loadgen.exe -- --pipeline 64 --min-rps 60000
                                                       -- also fail (exit 1) under
                                                          a throughput floor
+     dune exec bench/loadgen.exe -- --atlas DIR       -- atlas mode: run the
+                                                         workload twice against
+                                                         fresh servers sharing
+                                                         the atlas directory (a
+                                                         cold pass populates it,
+                                                         a warm pass reopens it),
+                                                         assert the replies are
+                                                         byte-identical, and gate
+                                                         on warm atlas hits
+                                                         (--min-atlas-hits N,
+                                                         default 1)
 
    Workload classes, round-robin by request index:
      check-star    sum-check of a star on 9 vertices with a rotating
@@ -54,6 +65,12 @@ let conns = ref 0 (* pipelined connections; 0 = --clients *)
 
 let min_rps = ref 0.0 (* throughput floor; 0 = no gate *)
 
+(* atlas mode: cold pass + warm pass against fresh servers sharing this
+   directory, byte-compared reply for reply *)
+let atlas_dir = ref None
+
+let min_atlas_hits = ref 1 (* warm-pass atlas hit floor in atlas mode *)
+
 let () =
   let rec scan = function
     | [] -> ()
@@ -81,11 +98,17 @@ let () =
     | "--json" :: path :: rest ->
       json := Some path;
       scan rest
+    | "--atlas" :: dir :: rest ->
+      atlas_dir := Some dir;
+      scan rest
+    | "--min-atlas-hits" :: v :: rest ->
+      min_atlas_hits := int_of_string v;
+      scan rest
     | arg :: _ ->
       Printf.eprintf
         "loadgen: unknown argument %s (expected --requests N, --clients N, \
          --jobs N, --pipeline DEPTH, --conns K, --min-rps F, --malformed, \
-         --json FILE)\n"
+         --json FILE, --atlas DIR, --min-atlas-hits N)\n"
         arg;
       exit 2
   in
@@ -202,7 +225,10 @@ let response_ok ~well_formed id line =
     else if Jsonx.member "ok" r = Some (Jsonx.Bool true) then `Ok
     else `Err
 
-let client_thread addr lo hi tallies =
+(* [replies.(i)] collects the reply bytes for request [i] — each index
+   has exactly one writer, so the array needs no lock. Atlas mode
+   byte-compares the cold and warm arrays. *)
+let client_thread addr lo hi tallies replies =
   Serve.with_client addr @@ fun c ->
   for i = lo to hi - 1 do
     let cls = class_of i in
@@ -211,6 +237,7 @@ let client_thread addr lo hi tallies =
     let t0 = Unix.gettimeofday () in
     match Serve.call c line with
     | reply ->
+      replies.(i) <- reply;
       let ns = (Unix.gettimeofday () -. t0) *. 1e9 in
       t.count <- t.count + 1;
       t.total_ns <- t.total_ns +. ns;
@@ -232,7 +259,7 @@ let client_thread addr lo hi tallies =
    kernel in a single syscall), then read the [depth] replies in order.
    Response order is the server's per-connection contract, so reply [k]
    must carry the id of request [k] — a reordering shows up as [bad]. *)
-let pipelined_thread addr lo hi depth tallies =
+let pipelined_thread addr lo hi depth tallies out =
   Serve.with_client addr @@ fun c ->
   let i = ref lo in
   while !i < hi do
@@ -263,6 +290,7 @@ let pipelined_thread addr lo hi depth tallies =
       List.iteri
         (fun k reply ->
           let idx = !i + k in
+          out.(idx) <- reply;
           let cls = class_of idx in
           let t = tallies.(idx mod n_classes) in
           t.count <- t.count + 1;
@@ -289,17 +317,35 @@ let pipelined_thread addr lo hi depth tallies =
 
 (* --- run ----------------------------------------------------------------- *)
 
-let () =
+type pass = {
+  p_merged : tally array;
+  p_wall : float;
+  p_total : int;
+  p_errors : int;
+  p_bad : int;
+  p_cache_hits : int;
+  p_cache_misses : int;
+  p_atlas_hits : int; (* 0 when the server runs without an atlas *)
+  p_replies : string array; (* reply bytes by request index *)
+}
+
+(* One complete load run against a fresh server: start, hammer, collect
+   the server's own stats, stop. Atlas mode calls this twice with the
+   same directory — fresh server each time, so the in-memory cache
+   starts empty and any warm speedup/hit is the atlas's alone. *)
+let run_pass ~tag ~pass_atlas_dir () =
   let sock =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "bncg-loadgen-%d.sock" (Unix.getpid ()))
+      (Printf.sprintf "bncg-loadgen-%d%s.sock" (Unix.getpid ())
+         (if tag = "" then "" else "-" ^ tag))
   in
   let cfg =
     {
       Serve.default_config with
       Serve.addresses = [ Serve.Unix_sock sock ];
       jobs = !jobs;
+      atlas_dir = pass_atlas_dir;
     }
   in
   let srv = Serve.start cfg in
@@ -310,25 +356,27 @@ let () =
     if depth > 0 then max 1 (if !conns > 0 then !conns else !clients)
     else max 1 !clients
   in
+  let label = if tag = "" then "" else Printf.sprintf " [%s]" tag in
   if depth > 0 then
     Printf.printf
-      "loadgen: %d requests pipelined depth %d over %d conns, %d pool jobs, %d \
-       classes (backend %s, %d workers)\n%!"
-      n depth c !jobs n_classes (Serve.backend_name srv)
+      "loadgen%s: %d requests pipelined depth %d over %d conns, %d pool jobs, \
+       %d classes (backend %s, %d workers)\n%!"
+      label n depth c !jobs n_classes (Serve.backend_name srv)
       (Serve.worker_count srv)
   else
-    Printf.printf "loadgen: %d requests, %d clients, %d pool jobs, %d classes\n%!"
-      n c !jobs n_classes;
+    Printf.printf "loadgen%s: %d requests, %d clients, %d pool jobs, %d classes\n%!"
+      label n c !jobs n_classes;
   (* per-thread tallies, merged after join: no cross-thread mutation *)
   let per_thread = Array.init c (fun _ -> Array.init n_classes (fun _ -> fresh_tally ())) in
+  let replies = Array.make n "" in
   let wall0 = Unix.gettimeofday () in
   let threads =
     List.init c (fun t ->
         let lo = t * n / c and hi = (t + 1) * n / c in
         Thread.create
           (fun () ->
-            if depth > 0 then pipelined_thread addr lo hi depth per_thread.(t)
-            else client_thread addr lo hi per_thread.(t))
+            if depth > 0 then pipelined_thread addr lo hi depth per_thread.(t) replies
+            else client_thread addr lo hi per_thread.(t) replies)
           ())
   in
   List.iter Thread.join threads;
@@ -360,47 +408,49 @@ let () =
         (if t.count = 0 then 0.0 else t.total_ns /. float_of_int t.count)
         t.max_ns t.errors t.bad)
     classes;
-  let hits, misses =
+  let member_int path r =
+    Option.value ~default:(-1)
+      (Option.bind
+         (List.fold_left
+            (fun acc k -> Option.bind acc (Jsonx.member k))
+            (Some r) path)
+         Jsonx.to_int)
+  in
+  let hits, misses, atlas_hits =
     match Jsonx.parse stats_line with
-    | Ok r -> (
-      match Option.bind (Jsonx.member "result" r) (Jsonx.member "cache") with
-      | Some cache ->
-        ( Option.value ~default:(-1)
-            (Option.bind (Jsonx.member "hits" cache) Jsonx.to_int),
-          Option.value ~default:(-1)
-            (Option.bind (Jsonx.member "misses" cache) Jsonx.to_int) )
-      | None -> (-1, -1))
-    | Error _ -> (-1, -1)
+    | Ok r ->
+      ( member_int [ "result"; "cache"; "hits" ] r,
+        member_int [ "result"; "cache"; "misses" ] r,
+        max 0 (member_int [ "result"; "atlas"; "hits" ] r) )
+    | Error _ -> (-1, -1, 0)
   in
   let total = Array.fold_left (fun a t -> a + t.count) 0 merged in
   let errors = Array.fold_left (fun a t -> a + t.errors) 0 merged in
   let bad = Array.fold_left (fun a t -> a + t.bad) 0 merged in
   Printf.printf
-    "\ntotal: %d requests in %.2f s (%.0f req/s); cache hits %d, misses %d\n"
-    total wall
+    "\ntotal%s: %d requests in %.2f s (%.0f req/s); cache hits %d, misses %d%s\n"
+    label total wall
     (float_of_int total /. wall)
-    hits misses;
-  (match !json with
+    hits misses
+    (match pass_atlas_dir with
+    | None -> ""
+    | Some _ -> Printf.sprintf "; atlas hits %d" atlas_hits);
+  {
+    p_merged = merged;
+    p_wall = wall;
+    p_total = total;
+    p_errors = errors;
+    p_bad = bad;
+    p_cache_hits = hits;
+    p_cache_misses = misses;
+    p_atlas_hits = atlas_hits;
+    p_replies = replies;
+  }
+
+let write_json_rows rows =
+  match !json with
   | None -> ()
   | Some path ->
-    (* pipelined runs measure throughput, not per-request latency: one
-       row, the wall-clock cost per request, under its own name so the
-       perf gate tracks the two modes independently *)
-    let rows =
-      if depth > 0 then
-        [
-          ( "serve-pipelined/wall-per-request",
-            wall *. 1e9 /. float_of_int (max 1 total) );
-        ]
-      else
-        List.mapi
-          (fun k cls ->
-            ( "serve-loadgen/" ^ cls.name,
-              if merged.(k).count = 0 then Float.nan
-              else merged.(k).total_ns /. float_of_int merged.(k).count ))
-          classes
-        @ [ ("serve-loadgen/wall-per-request", wall *. 1e9 /. float_of_int (max 1 total)) ]
-    in
     let oc = open_out path in
     output_string oc "[\n";
     let last = List.length rows - 1 in
@@ -415,25 +465,107 @@ let () =
       rows;
     output_string oc "]\n";
     close_out oc;
-    Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path);
-  if total <> n then begin
-    Printf.eprintf "loadgen: sent %d requests but tallied %d\n" n total;
+    Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path
+
+(* gates shared by every pass; any failure is the process exit status *)
+let gate_pass ~tag p =
+  let label = if tag = "" then "" else Printf.sprintf " [%s]" tag in
+  if p.p_total <> !requests then begin
+    Printf.eprintf "loadgen%s: sent %d requests but tallied %d\n" label !requests
+      p.p_total;
     exit 1
   end;
-  if errors > 0 || bad > 0 then begin
+  if p.p_errors > 0 || p.p_bad > 0 then begin
     Printf.eprintf
-      "loadgen: FAILED — %d well-formed requests errored, %d bad replies\n"
-      errors bad;
+      "loadgen%s: FAILED — %d well-formed requests errored, %d bad replies\n"
+      label p.p_errors p.p_bad;
     exit 1
   end;
-  if hits <= 0 then begin
-    Printf.eprintf "loadgen: FAILED — expected cache hits > 0, server reports %d\n" hits;
+  if p.p_cache_hits <= 0 then begin
+    Printf.eprintf
+      "loadgen%s: FAILED — expected cache hits > 0, server reports %d\n" label
+      p.p_cache_hits;
     exit 1
   end;
-  let rps = float_of_int total /. wall in
+  let rps = float_of_int p.p_total /. p.p_wall in
   if !min_rps > 0.0 && rps < !min_rps then begin
-    Printf.eprintf "loadgen: FAILED — %.0f req/s under the --min-rps %.0f floor\n"
-      rps !min_rps;
+    Printf.eprintf
+      "loadgen%s: FAILED — %.0f req/s under the --min-rps %.0f floor\n" label rps
+      !min_rps;
     exit 1
-  end;
-  print_endline "loadgen: OK"
+  end
+
+let () =
+  match !atlas_dir with
+  | None ->
+    let p = run_pass ~tag:"" ~pass_atlas_dir:None () in
+    let depth = max 0 !pipeline in
+    (* pipelined runs measure throughput, not per-request latency: one
+       row, the wall-clock cost per request, under its own name so the
+       perf gate tracks the two modes independently *)
+    let rows =
+      if depth > 0 then
+        [
+          ( "serve-pipelined/wall-per-request",
+            p.p_wall *. 1e9 /. float_of_int (max 1 p.p_total) );
+        ]
+      else
+        List.mapi
+          (fun k cls ->
+            ( "serve-loadgen/" ^ cls.name,
+              if p.p_merged.(k).count = 0 then Float.nan
+              else p.p_merged.(k).total_ns /. float_of_int p.p_merged.(k).count ))
+          classes
+        @ [
+            ( "serve-loadgen/wall-per-request",
+              p.p_wall *. 1e9 /. float_of_int (max 1 p.p_total) );
+          ]
+    in
+    write_json_rows rows;
+    gate_pass ~tag:"" p;
+    print_endline "loadgen: OK"
+  | Some dir ->
+    (* cold pass populates the atlas, warm pass reopens it behind an
+       empty in-memory cache; the reply streams must match byte for
+       byte, and the warm pass must actually hit the store *)
+    Printf.printf "loadgen: atlas mode against %s (cold pass, then warm pass)\n%!"
+      dir;
+    let cold = run_pass ~tag:"cold" ~pass_atlas_dir:(Some dir) () in
+    let warm = run_pass ~tag:"warm" ~pass_atlas_dir:(Some dir) () in
+    let rows =
+      [
+        ( "serve-atlas/cold-wall-per-request",
+          cold.p_wall *. 1e9 /. float_of_int (max 1 cold.p_total) );
+        ( "serve-atlas/warm-wall-per-request",
+          warm.p_wall *. 1e9 /. float_of_int (max 1 warm.p_total) );
+      ]
+    in
+    write_json_rows rows;
+    gate_pass ~tag:"cold" cold;
+    gate_pass ~tag:"warm" warm;
+    let mismatches = ref 0 in
+    Array.iteri
+      (fun i c ->
+        if not (String.equal c warm.p_replies.(i)) then begin
+          incr mismatches;
+          if !mismatches = 1 then
+            Printf.eprintf
+              "loadgen: reply %d differs across passes:\n  cold: %s\n  warm: %s\n"
+              i c warm.p_replies.(i)
+        end)
+      cold.p_replies;
+    if !mismatches > 0 then begin
+      Printf.eprintf
+        "loadgen: FAILED — %d replies differ between the cold and warm passes\n"
+        !mismatches;
+      exit 1
+    end;
+    Printf.printf "atlas: %d replies byte-identical across passes\n"
+      (Array.length cold.p_replies);
+    if warm.p_atlas_hits < !min_atlas_hits then begin
+      Printf.eprintf
+        "loadgen: FAILED — warm pass reported %d atlas hits, floor is %d\n"
+        warm.p_atlas_hits !min_atlas_hits;
+      exit 1
+    end;
+    print_endline "loadgen: OK"

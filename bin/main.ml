@@ -320,9 +320,29 @@ let print_graph_census (c : Census.graph_census) =
     (fun g -> Printf.printf "  representative: %s\n" (Graph6.encode g))
     c.Census.equilibria_iso
 
-let census version n trees jobs workers parts retries timeout journal stats
-    stats_json =
+let census version n trees jobs workers parts retries timeout journal atlas_dir
+    stats stats_json =
   with_stats stats stats_json @@ fun () ->
+  let atlas =
+    match atlas_dir with
+    | None -> None
+    | Some dir -> (
+      match Atlas.open_ dir with
+      | Ok a -> Some a
+      | Error msg -> invalid_arg ("atlas: " ^ msg))
+  in
+  (* atlas accounting goes to stderr, like the dispatch accounting: the
+     census on stdout stays byte-identical with and without the atlas *)
+  let finish () =
+    Option.iter
+      (fun a ->
+        let s = Atlas.stats a in
+        Printf.eprintf "atlas: %d hits, %d misses, %d appended, %d duplicates\n"
+          s.Atlas.hits s.Atlas.misses s.Atlas.appended s.Atlas.duplicates;
+        Atlas.close a)
+      atlas
+  in
+  Fun.protect ~finally:finish @@ fun () ->
   if workers = [] then
     with_jobs jobs @@ fun pool ->
     if trees then begin
@@ -330,7 +350,7 @@ let census version n trees jobs workers parts retries timeout journal stats
       `Ok ()
     end
     else begin
-      print_graph_census (Census.graph_census ~pool version n);
+      print_graph_census (Census.graph_census ?atlas ~pool version n);
       `Ok ()
     end
   else begin
@@ -350,6 +370,7 @@ let census version n trees jobs workers parts retries timeout journal stats
         max_attempts = retries;
         timeout;
         journal;
+        atlas;
       }
     in
     match Dispatch.run cfg (Census.full_shard kind version n) with
@@ -430,9 +451,21 @@ let census_cmd =
     in
     Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
   in
-  let run version n trees jobs workers parts retries timeout journal stats
+  let atlas =
+    let doc =
+      "Consult and populate the persistent equilibrium atlas in $(docv) \
+       (created if missing): verdicts already in the atlas are reused \
+       instead of recomputed, and new verdicts are appended for future \
+       runs. The census on stdout is byte-identical with or without the \
+       atlas; session accounting (hits/misses/appends) goes to stderr."
+    in
+    Arg.(value & opt (some string) None & info [ "atlas" ] ~docv:"DIR" ~doc)
+  in
+  let run version n trees jobs workers parts retries timeout journal atlas stats
       stats_json =
-    try census version n trees jobs workers parts retries timeout journal stats stats_json
+    try
+      census version n trees jobs workers parts retries timeout journal atlas
+        stats stats_json
     with Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
@@ -440,7 +473,7 @@ let census_cmd =
     Term.(
       ret
         (const run $ version $ n $ trees $ jobs_arg $ workers $ parts $ retries
-        $ timeout $ journal $ stats_arg $ stats_json_arg))
+        $ timeout $ journal $ atlas $ stats_arg $ stats_json_arg))
 
 (* --- experiment -------------------------------------------------------------- *)
 
@@ -551,7 +584,7 @@ let audit_cmd =
 let address_conv = Arg.conv (parse_address, Serve.pp_address)
 
 let serve listen jobs workers cache shards max_bytes max_vertices slice timeout
-    stats stats_json =
+    atlas stats stats_json =
   if listen = [] then
     `Error (false, "at least one --listen address is required")
   else
@@ -568,6 +601,7 @@ let serve listen jobs workers cache shards max_bytes max_vertices slice timeout
         census_slice = slice;
         request_timeout = timeout;
         write_high_water = Serve.default_config.Serve.write_high_water;
+        atlas_dir = atlas;
       }
     in
     match
@@ -635,13 +669,23 @@ let serve_cmd =
       & opt float Serve.default_config.Serve.request_timeout
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request cooperative deadline.")
   in
+  let atlas =
+    let doc =
+      "Persistent equilibrium atlas directory (created if missing): a \
+       crash-safe warm-start tier under the in-memory cache. Cache \
+       misses probe it before computing; computed verdicts are appended \
+       to it, so they survive restarts. Responses are byte-identical \
+       with or without it."
+    in
+    Arg.(value & opt (some string) None & info [ "atlas" ] ~docv:"DIR" ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batching RPC server (newline-delimited JSON over unix/tcp sockets)")
     Term.(
       ret
         (const serve $ listen $ jobs_arg $ workers $ cache $ shards $ max_bytes
-       $ max_vertices $ slice $ timeout $ stats_arg $ stats_json_arg))
+       $ max_vertices $ slice $ timeout $ atlas $ stats_arg $ stats_json_arg))
 
 let call addr timeout meth game g6 kind n lo hi raw =
   let request =
@@ -726,6 +770,89 @@ let call_cmd =
         (const call $ addr $ timeout $ meth $ game $ g6 $ kind $ n $ lo $ hi
        $ raw))
 
+(* --- atlas --------------------------------------------------------------- *)
+
+let atlas_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Atlas directory.")
+
+let atlas_stats dir =
+  match Atlas.open_ ~readonly:true dir with
+  | Error msg -> `Error (false, msg)
+  | Ok a ->
+    let s = Atlas.stats a in
+    Atlas.close a;
+    Printf.printf "segments: %d\n" s.Atlas.segments;
+    Printf.printf "records: %d\n" s.Atlas.records;
+    Printf.printf "bytes: %d\n" s.Atlas.bytes;
+    Printf.printf "snapshot used: %b\n" s.Atlas.snapshot_used;
+    Printf.printf "torn tails skipped: %d\n" s.Atlas.torn_records;
+    Printf.printf "corrupt records skipped: %d\n" s.Atlas.corrupt_records;
+    `Ok ()
+
+let atlas_verify dir =
+  match Atlas.verify dir with
+  | Error msg -> `Error (false, msg)
+  | Ok r ->
+    Printf.printf "segments: %d\n" r.Atlas.v_segments;
+    Printf.printf "records: %d (%d live)\n" r.Atlas.v_records r.Atlas.v_live;
+    Printf.printf "bytes: %d\n" r.Atlas.v_bytes;
+    Printf.printf "torn tails: %d\n" r.Atlas.v_torn;
+    Printf.printf "corrupt records: %d\n" r.Atlas.v_corrupt;
+    if r.Atlas.v_corrupt = 0 then `Ok ()
+    else
+      `Error
+        ( false,
+          Printf.sprintf "%d record(s) failed their checksum" r.Atlas.v_corrupt
+        )
+
+let atlas_compact dir =
+  match Atlas.compact dir with
+  | Error msg -> `Error (false, msg)
+  | Ok r ->
+    Printf.printf "segments: %d -> %d\n" r.Atlas.c_segments_before
+      r.Atlas.c_segments_after;
+    Printf.printf "records: %d -> %d live\n" r.Atlas.c_records_before
+      r.Atlas.c_live;
+    Printf.printf "bytes: %d -> %d\n" r.Atlas.c_bytes_before
+      r.Atlas.c_bytes_after;
+    `Ok ()
+
+let atlas_cmd =
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Open the atlas read-only and print segment/record counts and \
+            what recovery (if any) the open performed")
+      Term.(ret (const atlas_stats $ atlas_dir_arg))
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Re-read every segment from byte 0 and checksum every record. \
+            Exits non-zero if any well-framed record fails its checksum; \
+            torn tails (expected after a crash) are reported but are not \
+            an error, since reopening truncates them away.")
+      Term.(ret (const atlas_verify $ atlas_dir_arg))
+  in
+  let compact_cmd =
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Rewrite live records (first write wins, valid checksums only) \
+            into fresh segments and delete the old ones. Crash-safe: new \
+            segments land before any old segment is removed.")
+      Term.(ret (const atlas_compact $ atlas_dir_arg))
+  in
+  Cmd.group
+    (Cmd.info "atlas"
+       ~doc:"Inspect and maintain a persistent equilibrium atlas directory")
+    [ stats_cmd; verify_cmd; compact_cmd ]
+
 (* --- main ---------------------------------------------------------------- *)
 
 let () =
@@ -746,4 +873,5 @@ let () =
             audit_cmd;
             serve_cmd;
             call_cmd;
+            atlas_cmd;
           ]))

@@ -158,7 +158,28 @@ type graph_shard = {
 
 let empty_shard = { s_connected = 0; s_labeled = 0; s_reps = [] }
 
-let graph_shard_of_range version n ~lo ~hi =
+(* Atlas key for one labeled graph's equilibrium verdict. The verdict is
+   per labeled graph (graph6), not per isomorphism class, so a probe can
+   never change which representative a shard reports first. *)
+let atlas_key version g =
+  "eq:" ^ Usage_cost.version_name version ^ ":" ^ Graph6.encode g
+
+(* Consult-then-populate: a hit short-circuits the equilibrium scan, a
+   miss computes and appends. Identical verdicts either way, so census
+   outputs are byte-identical with the atlas on or off. *)
+let is_equilibrium_via ?atlas version g =
+  match atlas with
+  | None -> Equilibrium.is_equilibrium version g
+  | Some a -> (
+      let key = atlas_key version g in
+      match Atlas.find a key with
+      | Some v -> v = "1"
+      | None ->
+          let r = Equilibrium.is_equilibrium version g in
+          Atlas.add a ~key ~value:(if r then "1" else "0");
+          r)
+
+let graph_shard_of_range ?atlas version n ~lo ~hi =
   let connected = ref 0 in
   let labeled = ref 0 in
   let seen = Hashtbl.create 64 in
@@ -166,7 +187,7 @@ let graph_shard_of_range version n ~lo ~hi =
   let t0 = Telemetry.start () in
   Enumerate.connected_graphs_in n ~lo ~hi (fun g ->
       incr connected;
-      if Equilibrium.is_equilibrium version g then begin
+      if is_equilibrium_via ?atlas version g then begin
         incr labeled;
         let key = Canon.canonical_form g in
         if Hashtbl.mem seen key then Telemetry.incr m_canon_hits
@@ -211,15 +232,17 @@ let census_of_graph_shard n shard =
     max_diameter = List.fold_left max 0 diams;
   }
 
-let graph_census ?pool version n =
+let graph_census ?atlas ?pool version n =
   let total = Enumerate.graph_mask_count n in
   let shard =
     match pool with
     | Some pool when Pool.jobs pool > 1 ->
+      (* the atlas handle is domain-safe: the index is sharded under
+         mutexes and appends funnel through its single appender *)
       Pool.fold_chunks pool ~n:total
-        ~fold:(fun ~lo ~hi -> graph_shard_of_range version n ~lo ~hi)
+        ~fold:(fun ~lo ~hi -> graph_shard_of_range ?atlas version n ~lo ~hi)
         ~reduce:merge_shard ~zero:empty_shard
-    | _ -> graph_shard_of_range version n ~lo:0 ~hi:total
+    | _ -> graph_shard_of_range ?atlas version n ~lo:0 ~hi:total
   in
   census_of_graph_shard n shard
 
@@ -296,12 +319,14 @@ let full_shard kind version n =
          (max_shard_vertices kind) (kind_name kind));
   { kind; version; n; lo = 0; hi = shard_space kind n }
 
-let run_shard s =
+let run_shard ?atlas s =
   (match validate_shard s with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Census.run_shard: " ^ msg));
   match s.kind with
   | Trees ->
+    (* trees ignore the atlas: the shape classification + closed-form
+       witnesses are cheaper than an index probe per tree *)
     let t0 = Telemetry.start () in
     let tally = fresh_tally () in
     Enumerate.trees_in s.n ~lo:s.lo ~hi:s.hi (classify_tree s.version tally);
@@ -310,7 +335,7 @@ let run_shard s =
   | Graphs ->
     Graph_result
       (census_of_graph_shard s.n
-         (graph_shard_of_range s.version s.n ~lo:s.lo ~hi:s.hi))
+         (graph_shard_of_range ?atlas s.version s.n ~lo:s.lo ~hi:s.hi))
 
 let split s ~parts =
   if parts < 1 then invalid_arg "Census.split: parts must be >= 1";
@@ -333,7 +358,7 @@ let tree_census_in version n ~lo ~hi =
   | Tree_result c -> c
   | Graph_result _ -> assert false
 
-let graph_census_in version n ~lo ~hi =
-  match run_shard { kind = Graphs; version; n; lo; hi } with
+let graph_census_in ?atlas version n ~lo ~hi =
+  match run_shard ?atlas { kind = Graphs; version; n; lo; hi } with
   | Graph_result c -> c
   | Tree_result _ -> assert false

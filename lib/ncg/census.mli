@@ -40,12 +40,18 @@ type graph_census = {
 val merge_tree_census : tree_census -> tree_census -> tree_census
 (** Counts add, [max_eq_diameter] maxes. Requires equal [n]. *)
 
-val graph_census : ?pool:Pool.t -> Usage_cost.version -> int -> graph_census
+val graph_census :
+  ?atlas:Atlas.t -> ?pool:Pool.t -> Usage_cost.version -> int -> graph_census
 (** Exhaustive over all connected labeled graphs on [n] vertices
     (n <= {!Enumerate.max_graph_vertices}; n = 7 takes minutes
     sequentially). With [?pool] the edge-subset mask space is sharded
     across domains; counts, representatives (first of each class in mask
-    order) and histogram equal the sequential results. *)
+    order) and histogram equal the sequential results. With [?atlas] the
+    per-labeled-graph equilibrium verdict (key
+    [eq:<game>:<graph6>], value ["1"]/["0"]) is consulted before the
+    scan and populated after a miss; verdicts are identical either way,
+    so the census output is byte-for-byte the same with the atlas on or
+    off. *)
 
 val merge_graph_census : graph_census -> graph_census -> graph_census
 (** Counts add; representatives are re-deduplicated by canonical form
@@ -95,10 +101,13 @@ val validate_shard : shard -> (unit, string) Stdlib.result
     {!shard_space}); the returned message is suitable for a structured
     [invalid_params] reply. *)
 
-val run_shard : shard -> result
+val run_shard : ?atlas:Atlas.t -> shard -> result
 (** Classify every tree/graph of the shard's rank range sequentially.
-    {!tree_census_in} and {!graph_census_in} are thin wrappers.
-    @raise Invalid_argument when {!validate_shard} fails. *)
+    {!tree_census_in} and {!graph_census_in} are thin wrappers. [?atlas]
+    memoizes graph equilibrium verdicts as in {!graph_census}; tree
+    shards ignore it (the closed-form tree classification is cheaper
+    than a probe). @raise Invalid_argument when {!validate_shard}
+    fails. *)
 
 val split : shard -> parts:int -> shard list
 (** [split s ~parts] cuts [s] into at most [parts] contiguous,
@@ -120,7 +129,8 @@ val tree_census_in : Usage_cost.version -> int -> lo:int -> hi:int -> tree_censu
     {!merge_tree_census} equal the full census.
     @raise Invalid_argument unless [0 <= lo <= hi <= n^(n-2)]. *)
 
-val graph_census_in : Usage_cost.version -> int -> lo:int -> hi:int -> graph_census
+val graph_census_in :
+  ?atlas:Atlas.t -> Usage_cost.version -> int -> lo:int -> hi:int -> graph_census
 (** One shard of the graph census: only the connected graphs whose
     edge-subset mask lies in [[lo, hi)] (see
     {!Enumerate.connected_graphs_in}). [connected] counts the connected

@@ -1,0 +1,27 @@
+(* CRC-32, IEEE polynomial (reflected 0xedb88320), table-driven. *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0 in
+     for i = 0 to 255 do
+       let c = ref i in
+       for _ = 0 to 7 do
+         if !c land 1 = 1 then c := 0xedb88320 lxor (!c lsr 1)
+         else c := !c lsr 1
+       done;
+       t.(i) <- !c
+     done;
+     t)
+
+let crc32_bytes ?(crc = 0) ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.crc32_bytes";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let crc32 ?crc ?pos ?len s = crc32_bytes ?crc ?pos ?len (Bytes.unsafe_of_string s)

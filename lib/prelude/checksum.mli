@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3 / zlib polynomial) over strings and bytes.
+
+    Pure-OCaml table-driven implementation; used by the equilibrium
+    atlas to frame records on disk. Returns the checksum as a
+    non-negative [int] in the range [0, 0xFFFF_FFFF].
+
+    [?crc] chains a previous checksum so multi-slice payloads can be
+    summed without concatenation: [crc32 ~crc:(crc32 a) b] equals
+    [crc32 (a ^ b)]. [?pos]/[?len] select a slice (default: the whole
+    string). *)
+
+val crc32 : ?crc:int -> ?pos:int -> ?len:int -> string -> int
+val crc32_bytes : ?crc:int -> ?pos:int -> ?len:int -> bytes -> int

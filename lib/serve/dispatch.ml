@@ -41,6 +41,7 @@ type config = {
   backoff : float;
   timeout : float;
   journal : string option;
+  atlas : Atlas.t option;
 }
 
 let default_config =
@@ -52,6 +53,7 @@ let default_config =
     backoff = 0.05;
     timeout = 30.0;
     journal = None;
+    atlas = None;
   }
 
 type stats = {
@@ -161,7 +163,12 @@ let backoff_sleep seconds =
 let make_executor cfg = function
   | Local _ ->
     let execute shard =
-      match Domain.join (Domain.spawn (fun () -> Census.run_shard shard)) with
+      (* the atlas handle is domain-safe, so concurrent local shards
+         share the dispatcher's handle directly *)
+      match
+        Domain.join
+          (Domain.spawn (fun () -> Census.run_shard ?atlas:cfg.atlas shard))
+      with
       | r -> Ok r
       | exception e -> Error (Printexc.to_string e)
     in

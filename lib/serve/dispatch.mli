@@ -54,12 +54,16 @@ type config = {
       (** base sleep after a failure; doubles per consecutive failure *)
   timeout : float;  (** per-call reply deadline for remote workers *)
   journal : string option;  (** checkpoint file; [None] disables *)
+  atlas : Atlas.t option;
+      (** equilibrium atlas consulted/populated by {!Local} workers'
+          shard runs ({!Census.run_shard}). Remote workers use whatever
+          atlas their server was started with. *)
 }
 
 val default_config : config
 (** No workers (callers must supply the fleet), [parts = 0],
     3 attempts, blacklist after 3, 50ms base backoff, 30s timeout,
-    no journal. *)
+    no journal, no atlas. *)
 
 type stats = {
   shards : int;  (** parts the run was split into *)

@@ -82,12 +82,19 @@ type config = {
   write_high_water : int;
       (** bytes of pending output per connection beyond which the worker
           pauses reading that connection (backpressure) *)
+  atlas_dir : string option;
+      (** persistent equilibrium atlas directory ({!Atlas}): a
+          warm-start tier under the LRU. Cache misses probe it before
+          computing; computes append to it, so verdicts survive
+          restarts and are shared with census runs. Responses are
+          byte-identical with or without it (the atlas stores the same
+          rendered fragments the cache does). *)
 }
 
 val default_config : config
 (** No addresses; jobs 0; workers 0; cache 4096 entries in 8 shards;
     1 MiB requests; graphs to 512 vertices; 4096-rank census slices;
-    30 s deadline; 1 MiB write high-water. *)
+    30 s deadline; 1 MiB write high-water; no atlas. *)
 
 type t
 

@@ -1,0 +1,33 @@
+(* Helper executable for the atlas crash-injection test: appends
+   deterministic records forever until SIGKILLed by the parent.
+
+   Usage: atlas_crash_writer DIR FLUSH_AT [MAX_SEGMENT_BYTES]
+
+   Appends key [crash:%06d] -> deterministic value for i = 0, 1, ...;
+   after record FLUSH_AT is appended it flushes (fsync) and prints
+   "ready" on stdout so the parent knows the prefix 0..FLUSH_AT is
+   durable, then keeps appending until killed. The value formula is
+   mirrored in test_atlas.ml. *)
+
+let value_of i = Printf.sprintf "value-%06d-%s" i (String.make (i mod 40) 'x')
+
+let () =
+  let dir = Sys.argv.(1) in
+  let flush_at = int_of_string Sys.argv.(2) in
+  let max_segment_bytes =
+    if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3)
+    else 8 * 1024 * 1024
+  in
+  match Atlas.open_ ~max_segment_bytes dir with
+  | Error m ->
+      prerr_endline m;
+      exit 1
+  | Ok t ->
+      for i = 0 to 10_000_000 do
+        Atlas.add t ~key:(Printf.sprintf "crash:%06d" i) ~value:(value_of i);
+        if i = flush_at then begin
+          Atlas.flush t;
+          print_endline "ready";
+          flush stdout
+        end
+      done

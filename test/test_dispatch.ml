@@ -301,7 +301,15 @@ let test_remote_dispatch () =
 (* A stub endpoint misbehaving at the protocol level: accepts real
    connections, then either answers garbage or goes silent until the
    client hangs up — malformed replies and straggler timeouts on the
-   [Remote] path without a real serve process. *)
+   [Remote] path without a real serve process.
+
+   [f] receives the stub's address and a [wait_request] function that
+   blocks until the stub has read at least one request line. The tests
+   below pair the stub with a healthy [Custom] worker that calls
+   [wait_request] before computing: without the handshake the healthy
+   worker can drain the whole queue before the stub's first dispatch is
+   even in flight, and the [retried >= 1] assertions race (the straggler
+   test failed about one run in six on wall-clock luck alone). *)
 let with_stub_server tag behavior f =
   let path = temp (tag ^ ".sock") in
   (try Sys.remove path with Sys_error _ -> ());
@@ -309,6 +317,22 @@ let with_stub_server tag behavior f =
   Unix.bind listener (Unix.ADDR_UNIX path);
   Unix.listen listener 8;
   let stop = Atomic.make false in
+  let seen = ref 0 in
+  let seen_mutex = Mutex.create () in
+  let seen_cond = Condition.create () in
+  let note_request () =
+    Mutex.lock seen_mutex;
+    incr seen;
+    Condition.broadcast seen_cond;
+    Mutex.unlock seen_mutex
+  in
+  let wait_request () =
+    Mutex.lock seen_mutex;
+    while !seen = 0 do
+      Condition.wait seen_cond seen_mutex
+    done;
+    Mutex.unlock seen_mutex
+  in
   let server =
     Thread.create
       (fun () ->
@@ -321,6 +345,7 @@ let with_stub_server tag behavior f =
                match behavior with
                | `Garbage ->
                  ignore (input_line ic);
+                 note_request ();
                  let oc = Unix.out_channel_of_descr fd in
                  output_string oc "these are not the bytes you are looking for\n";
                  flush oc
@@ -328,6 +353,7 @@ let with_stub_server tag behavior f =
                  (* read the request, answer nothing; the second read
                     blocks until the timed-out client closes the stream *)
                  ignore (input_line ic);
+                 note_request ();
                  ignore (input_line ic)
              with _ -> ());
             (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -349,15 +375,25 @@ let with_stub_server tag behavior f =
       Thread.join server;
       (try Unix.close listener with Unix.Unix_error _ -> ());
       try Sys.remove path with Sys_error _ -> ())
-    (fun () -> f (Serve.Unix_sock path))
+    (fun () -> f (Serve.Unix_sock path) wait_request)
+
+(* a healthy worker that lets the stub receive a dispatch before it
+   computes anything, so the misbehaving remote deterministically has a
+   shard in flight to retry *)
+let polite_worker name wait_request =
+  Dispatch.Custom
+    ( name,
+      fun s ->
+        wait_request ();
+        Ok (Census.run_shard s) )
 
 let test_malformed_replies_requeue () =
-  with_stub_server "garbage" `Garbage @@ fun addr ->
+  with_stub_server "garbage" `Garbage @@ fun addr wait_request ->
   let expected = render (Census.run_shard graph_shard) in
   let cfg =
     {
       base with
-      Dispatch.workers = [ Dispatch.Remote addr; ok_worker "good" ];
+      Dispatch.workers = [ Dispatch.Remote addr; polite_worker "good" wait_request ];
       timeout = 5.0;
     }
   in
@@ -367,12 +403,12 @@ let test_malformed_replies_requeue () =
   check_true "their shards recovered" (st.Dispatch.recovered >= 1)
 
 let test_straggler_reclaimed_by_timeout () =
-  with_stub_server "stall" `Stall @@ fun addr ->
+  with_stub_server "stall" `Stall @@ fun addr wait_request ->
   let expected = render (Census.run_shard graph_shard) in
   let cfg =
     {
       base with
-      Dispatch.workers = [ Dispatch.Remote addr; ok_worker "good" ];
+      Dispatch.workers = [ Dispatch.Remote addr; polite_worker "good" wait_request ];
       timeout = 0.2;
     }
   in
