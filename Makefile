@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test bench bench-json bench-compare bench-baseline census-dist verify clean
+.PHONY: all build test bench bench-json bench-compare bench-baseline census-dist scale-smoke verify clean
 
 all: build
 
@@ -27,9 +27,11 @@ bench-compare:
 	rm -rf /tmp/bncg_atlas_bench
 	dune exec bench/loadgen.exe -- --atlas /tmp/bncg_atlas_bench \
 	  --json /tmp/bncg_atlas_fresh.json
+	dune exec bench/scaledyn.exe -- --quick --json /tmp/bncg_scaledyn_fresh.json
 	dune exec bench/compare.exe -- --baseline BENCH_baseline.json \
 	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json \
-	  /tmp/bncg_pipelined_fresh.json /tmp/bncg_atlas_fresh.json
+	  /tmp/bncg_pipelined_fresh.json /tmp/bncg_atlas_fresh.json \
+	  /tmp/bncg_scaledyn_fresh.json
 
 # refresh the committed baseline after an intentional perf change
 bench-baseline:
@@ -40,15 +42,24 @@ bench-baseline:
 	rm -rf /tmp/bncg_atlas_bench
 	dune exec bench/loadgen.exe -- --atlas /tmp/bncg_atlas_bench \
 	  --json /tmp/bncg_atlas_fresh.json
+	dune exec bench/scaledyn.exe -- --quick --json /tmp/bncg_scaledyn_fresh.json
 	dune exec bench/compare.exe -- --merge BENCH_baseline.json \
 	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json \
-	  /tmp/bncg_pipelined_fresh.json /tmp/bncg_atlas_fresh.json
+	  /tmp/bncg_pipelined_fresh.json /tmp/bncg_atlas_fresh.json \
+	  /tmp/bncg_scaledyn_fresh.json
 
 # distributed-census acceptance gate: healthy / flaky / crash / resume
 # phases over real sockets, each gated on byte-identity with the
 # sequential census
 census-dist:
 	dune exec bench/distcensus.exe
+
+# large-n sampled dynamics smoke: a bounded n = 10^5 BA run that must
+# print a verdict and certify nonzero candidate skips (the CI scale job
+# runs the same command)
+scale-smoke:
+	dune exec bin/main.exe -- dynamics --engine scale --gen ba -n 100000 \
+	  --seed 7 --max-rounds 24 --stats-json /tmp/bncg_scale_stats.json
 
 # the tier-1 gate plus a quick bench smoke run with JSON output
 verify: build

@@ -1,0 +1,147 @@
+(* Wall-clock benchmark for the large-n sampled dynamics engine: one run
+   per generator family (BA / ER / WS), reporting generation time, total
+   run time, per-round time, and the sampled diameter trajectory.
+
+     dune exec bench/scaledyn.exe                  -- n = 20000
+     dune exec bench/scaledyn.exe -- --quick       -- n = 5000, fewer rounds
+     dune exec bench/scaledyn.exe -- --n 100000 --rounds 64
+     dune exec bench/scaledyn.exe -- --json FILE   -- {benchmark, ns_per_run}
+                                                      rows, same shape as
+                                                      bench/main.exe
+
+   Deterministic end to end (fixed seed, fixed round budget), so besides
+   the timing rows the JSON carries the final sampled diameter lower
+   bound per family — a correctness canary the perf gate watches with
+   the same tolerance machinery. *)
+
+let n = ref 20_000
+
+let rounds = ref 48
+
+let probes = ref 32
+
+let budget = ref 16
+
+let seed = ref 7
+
+let json = ref None
+
+let () =
+  let rec scan = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      n := 5_000;
+      rounds := 24;
+      scan rest
+    | "--n" :: v :: rest ->
+      n := int_of_string v;
+      scan rest
+    | "--rounds" :: v :: rest ->
+      rounds := int_of_string v;
+      scan rest
+    | "--probes" :: v :: rest ->
+      probes := int_of_string v;
+      scan rest
+    | "--budget" :: v :: rest ->
+      budget := int_of_string v;
+      scan rest
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      scan rest
+    | "--json" :: path :: rest ->
+      json := Some path;
+      scan rest
+    | arg :: _ ->
+      Printf.eprintf
+        "scaledyn: unknown argument %s (expected --quick, --n N, --rounds R, \
+         --probes P, --budget B, --seed S, --json FILE)\n"
+        arg;
+      exit 2
+  in
+  scan (List.tl (Array.to_list Sys.argv))
+
+(* fail before the run, not after it — same pattern as bench/main.exe *)
+let () =
+  match !json with
+  | None -> ()
+  | Some path -> (
+    match open_out path with
+    | oc -> close_out oc
+    | exception Sys_error msg ->
+      Printf.eprintf "scaledyn: cannot write --json target: %s\n" msg;
+      exit 2)
+
+let rows = ref []
+
+let row name ns = rows := (name, ns) :: !rows
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e9)
+
+let family name gen =
+  Printf.printf "%s: n = %d, %d rounds x %d probes, budget %d\n%!" name !n
+    !rounds !probes !budget;
+  let csr, gen_ns = timed gen in
+  Printf.printf "  generated  m = %-9d %8.1f ms\n%!" (Csr.m csr) (gen_ns /. 1e6);
+  row (Printf.sprintf "dynamics-scale-%s/gen" name) gen_ns;
+  let cfg =
+    {
+      (Scale_dynamics.default_config Usage_cost.Sum) with
+      Scale_dynamics.budget = !budget;
+      probes_per_round = !probes;
+      max_rounds = !rounds;
+      confirm = Scale_dynamics.Quiescence max_int;
+      trajectory_every = max 1 (!rounds / 6);
+      trajectory_sources = 32;
+      traj_seed = !seed;
+    }
+  in
+  let r, run_ns =
+    timed (fun () ->
+        Scale_dynamics.run ~rng:(Prng.substream !seed (-1)) cfg csr)
+  in
+  row (Printf.sprintf "dynamics-scale-%s" name) run_ns;
+  row
+    (Printf.sprintf "dynamics-scale-%s/per-round" name)
+    (run_ns /. float_of_int (max 1 r.Scale_dynamics.rounds));
+  Printf.printf "  ran        %d rounds, %d probes, %d moves   %8.1f ms  (%.2f ms/round)\n%!"
+    r.Scale_dynamics.rounds r.Scale_dynamics.probes r.Scale_dynamics.moves
+    (run_ns /. 1e6)
+    (run_ns /. 1e6 /. float_of_int (max 1 r.Scale_dynamics.rounds));
+  Printf.printf "  trajectory   round   moves   diameter>=   mean-dist\n";
+  List.iter
+    (fun s ->
+      Printf.printf "             %7d %7d %12d %11.3f\n" s.Scale_dynamics.s_round
+        s.Scale_dynamics.s_moves s.Scale_dynamics.s_diameter_lb
+        s.Scale_dynamics.s_mean_dist)
+    r.Scale_dynamics.trajectory;
+  (match List.rev r.Scale_dynamics.trajectory with
+  | last :: _ ->
+    row
+      (Printf.sprintf "dynamics-scale-%s/diameter-lb-final" name)
+      (float_of_int last.Scale_dynamics.s_diameter_lb)
+  | [] -> ());
+  print_newline ()
+
+let () =
+  family "ba" (fun () -> Scale_gen.ba ~seed:!seed ~n:!n ~m:2);
+  family "er" (fun () -> Scale_gen.er ~seed:!seed ~n:!n ~avg_deg:4.0 ());
+  family "ws" (fun () -> Scale_gen.ws ~seed:!seed ~n:!n ~k:2 ~beta:0.1 ());
+  match !json with
+  | None -> ()
+  | Some path ->
+    let rows = List.rev !rows in
+    let oc = open_out path in
+    output_string oc "[\n";
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "  {\"benchmark\": %S, \"ns_per_run\": %.3f}%s\n" name
+          ns
+          (if i = last then "" else ","))
+      rows;
+    output_string oc "]\n";
+    close_out oc;
+    Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path

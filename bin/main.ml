@@ -242,8 +242,7 @@ let check_cmd =
 
 (* --- dynamics --------------------------------------------------------------- *)
 
-let dynamics version n init seed max_rounds trace stats stats_json =
-  with_stats stats stats_json @@ fun () ->
+let dynamics_exact version n init seed max_rounds trace =
   let rng = Prng.create seed in
   let g =
     match init with
@@ -274,26 +273,190 @@ let dynamics version n init seed max_rounds trace stats stats_json =
   end;
   `Ok ()
 
+(* The large-n engine: generate a family snapshot straight into CSR, run
+   the sampled best-response dynamics over the Flexcsr arena. All
+   randomness (generator rows, run stream, trajectory sources) derives
+   from --seed through Prng.substream, so runs are reproducible at any -j. *)
+let dynamics_scale version n gen seed max_rounds jobs budget probes patience
+    exact_confirm window ba_m er_deg ws_k ws_beta traj_every traj_sources trace =
+  with_jobs jobs @@ fun pool ->
+  let t0 = Unix.gettimeofday () in
+  let csr =
+    match gen with
+    | `Ba -> Scale_gen.ba ~seed ~n ~m:ba_m
+    | `Er -> Scale_gen.er ~pool ~seed ~n ~avg_deg:er_deg ()
+    | `Ws -> Scale_gen.ws ~pool ~seed ~n ~k:ws_k ~beta:ws_beta ()
+  in
+  let t_gen = Unix.gettimeofday () -. t0 in
+  Printf.printf "generator: %s, n = %d, m = %d (%.2fs)\n"
+    (match gen with `Ba -> "ba" | `Er -> "er" | `Ws -> "ws")
+    (Csr.n csr) (Csr.m csr) t_gen;
+  let cfg =
+    {
+      (Scale_dynamics.default_config version) with
+      Scale_dynamics.budget;
+      probes_per_round = probes;
+      max_rounds;
+      confirm =
+        (if exact_confirm then Scale_dynamics.Exact_scan
+         else Scale_dynamics.Quiescence patience);
+      window;
+      trajectory_every = traj_every;
+      trajectory_sources = traj_sources;
+      traj_seed = seed;
+      record_trace = trace;
+    }
+  in
+  let rng = Prng.substream seed (-1) in
+  let t1 = Unix.gettimeofday () in
+  let r = Scale_dynamics.run ~pool ~rng cfg csr in
+  let t_run = Unix.gettimeofday () -. t1 in
+  Printf.printf "outcome: %s%s\n"
+    (Exp_common.outcome_name r.Scale_dynamics.outcome)
+    (if r.Scale_dynamics.sampled_verdict then " (sampled verdict)" else "");
+  Printf.printf "rounds: %d, probes: %d, moves: %d (deletions %d)\n"
+    r.Scale_dynamics.rounds r.Scale_dynamics.probes r.Scale_dynamics.moves
+    r.Scale_dynamics.deletions;
+  Printf.printf "final m: %d\n" r.Scale_dynamics.final_m;
+  Printf.printf "wall: %.2fs (%.1f ms/round)\n" t_run
+    (1000. *. t_run /. float_of_int (max 1 r.Scale_dynamics.rounds));
+  if r.Scale_dynamics.trajectory <> [] then begin
+    Printf.printf "\n%-8s %-8s %-11s %s\n" "round" "moves" "diameter>=" "mean-dist";
+    List.iter
+      (fun (s : Scale_dynamics.sample) ->
+        Printf.printf "%-8d %-8d %-11d %.3f\n" s.Scale_dynamics.s_round
+          s.Scale_dynamics.s_moves s.Scale_dynamics.s_diameter_lb
+          s.Scale_dynamics.s_mean_dist)
+      r.Scale_dynamics.trajectory
+  end;
+  if trace then begin
+    Printf.printf "\n%-6s %-24s %8s\n" "step" "move" "delta";
+    List.iteri
+      (fun i (mv, d) ->
+        Printf.printf "%-6d %-24s %8d\n" i (Swap.move_to_string mv) d)
+      r.Scale_dynamics.trace
+  end;
+  `Ok ()
+
+let dynamics engine version n init gen seed max_rounds jobs budget probes
+    patience exact_confirm window ba_m er_deg ws_k ws_beta traj_every
+    traj_sources trace stats stats_json =
+  with_stats stats stats_json @@ fun () ->
+  match engine with
+  | `Exact ->
+    let max_rounds = if max_rounds = 0 then 10_000 else max_rounds in
+    dynamics_exact version n init seed max_rounds trace
+  | `Scale ->
+    (* one round = --probes sampled probes; at n = 10^6 a round of 32
+       probes is ~2 minutes on one core, so the default keeps the bare
+       command under an hour *)
+    let max_rounds = if max_rounds = 0 then 24 else max_rounds in
+    dynamics_scale version n gen seed max_rounds jobs budget probes patience
+      exact_confirm window ba_m er_deg ws_k ws_beta traj_every traj_sources
+      trace
+
 let dynamics_cmd =
   let version =
     Arg.(value & opt version_conv Usage_cost.Sum & info [ "game" ] ~doc:"sum or max.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ ("exact", `Exact); ("scale", `Scale) ]) `Exact
+      & info [ "engine" ]
+          ~doc:
+            "exact: full candidate scans over Graph.t (small n). scale: \
+             sampled probes over a CSR arena with certified candidate \
+             bounds (n up to 10^6).")
   in
   let n = Arg.(value & opt int 24 & info [ "n" ] ~doc:"Number of agents.") in
   let init =
     Arg.(
       value
       & opt (enum [ ("tree", `Tree); ("gnm", `Gnm); ("path", `Path); ("cycle", `Cycle) ]) `Tree
-      & info [ "init" ] ~doc:"Initial network: tree, gnm, path, cycle.")
+      & info [ "init" ] ~doc:"Initial network for --engine exact: tree, gnm, path, cycle.")
+  in
+  let gen =
+    Arg.(
+      value
+      & opt (enum [ ("ba", `Ba); ("er", `Er); ("ws", `Ws) ]) `Ba
+      & info [ "gen" ]
+          ~doc:
+            "Initial network for --engine scale: ba (preferential \
+             attachment), er (Erdos-Renyi), ws (Watts-Strogatz).")
   in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let rounds = Arg.(value & opt int 10_000 & info [ "max-rounds" ] ~doc:"Round cap.") in
+  let rounds =
+    Arg.(
+      value & opt int 0
+      & info [ "max-rounds" ]
+          ~doc:"Round cap; 0 means the engine default (exact 10000, scale 24).")
+  in
+  let budget =
+    Arg.(
+      value & opt int 16
+      & info [ "budget" ] ~doc:"Scale engine: sampled candidate swaps per probe.")
+  in
+  let probes =
+    Arg.(
+      value & opt int 32
+      & info [ "probes" ] ~doc:"Scale engine: probes per round (0 means n).")
+  in
+  let patience =
+    Arg.(
+      value & opt int 512
+      & info [ "patience" ]
+          ~doc:
+            "Scale engine: consecutive unimproving probes before declaring \
+             (sampled) convergence.")
+  in
+  let exact_confirm =
+    Arg.(
+      value & flag
+      & info [ "exact-confirm" ]
+          ~doc:
+            "Scale engine: confirm quiet rounds with the full exact scan \
+             instead of quiescence patience (equilibrium certificate; only \
+             affordable at small n).")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "window" ] ~doc:"Scale engine: recent states kept for cycle detection.")
+  in
+  let ba_m =
+    Arg.(value & opt int 2 & info [ "ba-m" ] ~doc:"ba generator: edges per arriving vertex.")
+  in
+  let er_deg =
+    Arg.(value & opt float 4.0 & info [ "er-deg" ] ~doc:"er generator: expected average degree.")
+  in
+  let ws_k =
+    Arg.(value & opt int 2 & info [ "ws-k" ] ~doc:"ws generator: clockwise lattice links per vertex.")
+  in
+  let ws_beta =
+    Arg.(value & opt float 0.1 & info [ "ws-beta" ] ~doc:"ws generator: rewiring probability.")
+  in
+  let traj_every =
+    Arg.(
+      value & opt int 8
+      & info [ "traj-every" ]
+          ~doc:"Scale engine: sample the diameter trajectory every this many rounds (0: start/end only).")
+  in
+  let traj_sources =
+    Arg.(
+      value & opt int 32
+      & info [ "traj-sources" ] ~doc:"Scale engine: BFS sources per trajectory sample (0 disables).")
+  in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print the move-by-move trace.") in
   Cmd.v
     (Cmd.info "dynamics" ~doc:"Run best-response swap dynamics to equilibrium")
     Term.(
       ret
-        (const dynamics $ version $ n $ init $ seed $ rounds $ trace $ stats_arg
-       $ stats_json_arg))
+        (const dynamics $ engine $ version $ n $ init $ gen $ seed $ rounds
+       $ jobs_arg $ budget $ probes $ patience $ exact_confirm $ window $ ba_m
+       $ er_deg $ ws_k $ ws_beta $ traj_every $ traj_sources $ trace
+       $ stats_arg $ stats_json_arg))
 
 (* --- census --------------------------------------------------------------- *)
 
@@ -477,7 +640,8 @@ let census_cmd =
 
 (* --- experiment -------------------------------------------------------------- *)
 
-let experiment id list_only =
+let experiment id list_only seed =
+  Option.iter Exp_common.set_seed_base seed;
   if list_only then begin
     List.iter
       (fun e ->
@@ -511,9 +675,18 @@ let experiment_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (E1..E14), 'all', or 'everything'.")
   in
   let list_only = Arg.(value & flag & info [ "list" ] ~doc:"List available experiments.") in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ]
+          ~doc:
+            "Seed base: experiment tables draw seeds base+1..base+k \
+             (default $(b,BNCG_SEED) or 0).")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce the paper's theorem/figure tables")
-    Term.(ret (const experiment $ id $ list_only))
+    Term.(ret (const experiment $ id $ list_only $ seed))
 
 (* --- hunt ---------------------------------------------------------------- *)
 

@@ -56,4 +56,18 @@ let minmax_cell xs =
   let lo = Array.fold_left min xs.(0) xs and hi = Array.fold_left max xs.(0) xs in
   if lo = hi then string_of_int lo else Printf.sprintf "%d..%d" lo hi
 
-let seeds k = Array.init k (fun i -> i + 1)
+(* Experiment seeds are [base+1 .. base+k]; the base is 0 unless BNCG_SEED
+   or the CLI's --seed moves it, so every table is reproducible from the
+   command line without recompiling. *)
+let seed_base =
+  ref
+    (match Sys.getenv_opt "BNCG_SEED" with
+    | None | Some "" -> 0
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> invalid_arg "BNCG_SEED must be an integer"))
+
+let set_seed_base b = seed_base := b
+
+let seeds k = Array.init k (fun i -> !seed_base + i + 1)

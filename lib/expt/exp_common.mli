@@ -38,5 +38,10 @@ val mean_cell : float array -> string
 val minmax_cell : int array -> string
 (** "lo..hi" of an int sample. *)
 
+val set_seed_base : int -> unit
+(** Shift the seed list: [seeds k] becomes [base+1 .. base+k]. Driven by
+    [bncg experiment --seed]; defaults to [BNCG_SEED] (or 0). *)
+
 val seeds : int -> int array
-(** The deterministic seed list [1..k] used across all experiments. *)
+(** The deterministic seed list [base+1 .. base+k] used across all
+    experiments ([base = 0] by default, see {!set_seed_base}). *)

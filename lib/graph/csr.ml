@@ -16,6 +16,60 @@ let of_graph g =
   done;
   { offsets; targets }
 
+(* Build directly from an undirected edge stream without a Graph.t (or any
+   per-vertex structure) in between: count degrees, prefix-sum, scatter,
+   sort each row, then compact duplicate targets in place. The large-n
+   generators emit here, so the only O(m)-sized allocations are the final
+   arrays plus one cursor array. *)
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Csr.of_edges: negative n";
+  let deg = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u = v || u < 0 || v < 0 || u >= n || v >= n then
+        invalid_arg "Csr.of_edges: bad edge";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let targets = Array.make offsets.(n) 0 in
+  let cursor = Array.blit offsets 0 deg 0 (n + 1); deg in
+  Array.iter
+    (fun (u, v) ->
+      targets.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      targets.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  for v = 0 to n - 1 do
+    let lo = offsets.(v) and hi = offsets.(v + 1) in
+    let row = Array.sub targets lo (hi - lo) in
+    Array.sort compare row;
+    Array.blit row 0 targets lo (hi - lo)
+  done;
+  (* drop duplicate undirected edges (both directions vanish, so the
+     result stays symmetric); the compaction is a no-op when clean *)
+  let w = ref 0 in
+  let out_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    out_off.(v) <- !w;
+    let prev = ref (-1) in
+    for i = offsets.(v) to offsets.(v + 1) - 1 do
+      let x = targets.(i) in
+      if x <> !prev then begin
+        targets.(!w) <- x;
+        incr w;
+        prev := x
+      end
+    done
+  done;
+  out_off.(n) <- !w;
+  if !w = offsets.(n) then { offsets; targets }
+  else { offsets = out_off; targets = Array.sub targets 0 !w }
+
 let n t = Array.length t.offsets - 1
 
 let m t = Array.length t.targets / 2
@@ -65,6 +119,8 @@ let all_pairs t =
       let dist = Array.make nv (-1) in
       ignore (bfs_into t src ~dist ~queue);
       dist)
+
+let equal a b = a.offsets = b.offsets && a.targets = b.targets
 
 let to_graph t =
   let g = Graph.create (n t) in

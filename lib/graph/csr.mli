@@ -10,6 +10,18 @@ type t
 val of_graph : Graph.t -> t
 (** O(n + m); neighbor order within a row is sorted. *)
 
+val of_edges : n:int -> (int * int) array -> t
+(** [of_edges ~n edges] builds the snapshot straight from an undirected
+    edge stream — no intermediate {!Graph.t}, so million-edge generators
+    pay only the final arrays. Duplicate edges are dropped (first kept);
+    rows come out sorted. O(m lg deg + n). @raise Invalid_argument on
+    self-loops or out-of-range endpoints. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the snapshots (same offsets, same targets) —
+    the byte-identity notion the deterministic generators are tested
+    under. *)
+
 val n : t -> int
 
 val m : t -> int

@@ -71,6 +71,22 @@ let find_neutral_deletion eng version v =
       (Graph.neighbors g v);
     !best
 
+(* The candidate stream of a bounded agent, shared with the large-n scale
+   engine (Scale_dynamics): both implementations draw (drop-index, add)
+   pairs through this one function, so their PRNG consumption is equal by
+   construction and the sampled engine reproduces these move sequences
+   byte-identically. Pairs are drawn up front — candidate evaluation
+   consumes no randomness — which is stream-equivalent to drawing them
+   interleaved with evaluation. *)
+let draw_sampled_candidates rng ~deg ~n ~budget =
+  let pairs = Array.make budget (0, 0) in
+  for i = 0 to budget - 1 do
+    let drop_index = Prng.int rng deg in
+    let add = Prng.int rng n in
+    pairs.(i) <- (drop_index, add)
+  done;
+  pairs
+
 (* bounded agent: examine only [budget] uniformly sampled candidate swaps *)
 let sampled_move rng eng version v budget =
   let g = Swap_eval.graph eng in
@@ -80,18 +96,19 @@ let sampled_move rng eng version v budget =
   if deg = 0 || deg >= n - 1 then None
   else begin
     let best = ref None in
-    for _ = 1 to budget do
-      let drop = neighbors.(Prng.int rng deg) in
-      let add = Prng.int rng n in
-      if add <> v && add <> drop && not (Array.exists (fun w -> w = add) neighbors)
-      then begin
-        let mv = Swap.Swap { actor = v; drop; add } in
-        let cutoff = match !best with None -> 0 | Some (_, bd) -> bd in
-        match Swap_eval.delta_below eng version mv ~cutoff with
-        | Some d -> best := Some (mv, d)
-        | None -> ()
-      end
-    done;
+    let pairs = draw_sampled_candidates rng ~deg ~n ~budget in
+    Array.iter
+      (fun (drop_index, add) ->
+        let drop = neighbors.(drop_index) in
+        if add <> v && add <> drop && not (Array.exists (fun w -> w = add) neighbors)
+        then begin
+          let mv = Swap.Swap { actor = v; drop; add } in
+          let cutoff = match !best with None -> 0 | Some (_, bd) -> bd in
+          match Swap_eval.delta_below eng version mv ~cutoff with
+          | Some d -> best := Some (mv, d)
+          | None -> ()
+        end)
+      pairs;
     !best
   end
 

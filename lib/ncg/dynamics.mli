@@ -65,6 +65,15 @@ type result = {
   trace : step list;  (** chronological; empty unless [record_trace] *)
 }
 
+val draw_sampled_candidates :
+  Prng.t -> deg:int -> n:int -> budget:int -> (int * int) array
+(** The candidate stream of one [Sampled] activation: [budget]
+    (drop-index, add) pairs, drawn drop-index-then-add per candidate.
+    Exposed so the large-n sampled engine ({!Scale_dynamics} in
+    [lib/scale]) consumes the {e same} stream in the same order and
+    reproduces this module's move sequences byte-identically; candidate
+    {e evaluation} must therefore never consume randomness. *)
+
 val run : ?rng:Prng.t -> config -> Graph.t -> result
 (** Runs the dynamics on a copy of the input (the input graph is not
     mutated). The input must be connected.

@@ -24,6 +24,14 @@ let split t =
   let s = bits64 t in
   { state = mix64 s }
 
+let substream seed index =
+  (* Two rounds of mixing over (seed, index) decorrelate neighbouring
+     indices; the golden-gamma stride keeps distinct indices on distinct
+     SplitMix64 trajectories. *)
+  let s = mix64 (Int64.of_int seed) in
+  let i = Int64.mul golden_gamma (Int64.of_int index) in
+  { state = mix64 (Int64.add (mix64 (Int64.logxor s i)) s) }
+
 let int t bound =
   assert (bound > 0);
   if bound land (bound - 1) = 0 then

@@ -19,6 +19,15 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of [t]'s continuation. *)
 
+val substream : int -> int -> t
+(** [substream seed index] is a generator determined only by the pair
+    [(seed, index)] — no shared mutable state, so a family of streams
+    (one per vertex, per shard, per purpose) can be drawn in any order,
+    from any domain, and still be byte-identical run to run. Distinct
+    indices give statistically independent streams; [index] may be
+    negative (useful for reserving non-vertex purposes alongside
+    per-vertex streams [0..n)). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

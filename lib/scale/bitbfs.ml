@@ -1,0 +1,224 @@
+let m_runs = Telemetry.counter "scale.bitbfs.runs"
+
+let m_words = Telemetry.counter "scale.bitbfs.words"
+
+let max_sources = 63
+
+type scratch = {
+  size : int;
+  seen : int array;  (* bit i: sources.(i) has reached the vertex *)
+  front : int array;  (* bits of the current wave *)
+  next : int array;  (* bits being gathered for the next wave *)
+  q : int array;
+  q2 : int array;
+}
+
+let create_scratch n =
+  if n < 0 then invalid_arg "Bitbfs.create_scratch: negative size";
+  let sz = max n 1 in
+  {
+    size = n;
+    seen = Array.make sz 0;
+    front = Array.make sz 0;
+    next = Array.make sz 0;
+    q = Array.make sz 0;
+    q2 = Array.make sz 0;
+  }
+
+(* b is a power of two in a 63-bit int (possibly its sign bit, which lsr
+   treats as plain bit 62) *)
+let bit_index b0 =
+  let b = ref b0 and i = ref 0 in
+  if !b land 0xFFFFFFFF = 0 then begin
+    i := !i + 32;
+    b := !b lsr 32
+  end;
+  if !b land 0xFFFF = 0 then begin
+    i := !i + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xFF = 0 then begin
+    i := !i + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xF = 0 then begin
+    i := !i + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    i := !i + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then incr i;
+  !i
+
+let iter_bits f bits =
+  let b = ref bits in
+  while !b <> 0 do
+    let low = !b land (- !b) in
+    f (bit_index low);
+    b := !b lxor low
+  done
+
+let seed_sources sc sources visit =
+  let qlen = ref 0 in
+  Array.iteri
+    (fun i src ->
+      let b = 1 lsl i in
+      if sc.front.(src) = 0 then begin
+        sc.q.(!qlen) <- src;
+        incr qlen
+      end;
+      sc.front.(src) <- sc.front.(src) lor b;
+      sc.seen.(src) <- sc.seen.(src) lor b)
+    sources;
+  for i = 0 to !qlen - 1 do
+    visit sc.q.(i) 0 sc.front.(sc.q.(i))
+  done;
+  !qlen
+
+(* Scatter kernel: a frontier queue per wave; each frontier word is pushed
+   through its row. Fastest sequentially — writes to next.(u)/seen.(u)
+   conflict across frontier vertices, so this form does not parallelise. *)
+let run_scatter sc t ~sources ~visit =
+  let seen = sc.seen and front = sc.front and next = sc.next in
+  let off, len, arena = Flexcsr.rows t in
+  let qlen = seed_sources sc sources visit in
+  let cur = ref sc.q and nxt = ref sc.q2 in
+  let curlen = ref qlen in
+  let wave = ref 0 in
+  let words = ref 0 in
+  while !curlen > 0 do
+    incr wave;
+    words := !words + !curlen;
+    let cq = !cur and nq = !nxt in
+    let nlen = ref 0 in
+    for qi = 0 to !curlen - 1 do
+      let v = cq.(qi) in
+      let bits = front.(v) in
+      let base = off.(v) in
+      for i = base to base + len.(v) - 1 do
+        let u = arena.(i) in
+        let add = bits land lnot seen.(u) in
+        if add <> 0 then begin
+          if next.(u) = 0 then begin
+            nq.(!nlen) <- u;
+            incr nlen
+          end;
+          next.(u) <- next.(u) lor add;
+          seen.(u) <- seen.(u) lor add
+        end
+      done;
+      front.(v) <- 0
+    done;
+    for qi = 0 to !nlen - 1 do
+      let u = nq.(qi) in
+      front.(u) <- next.(u);
+      next.(u) <- 0;
+      visit u !wave front.(u)
+    done;
+    cur := nq;
+    nxt := cq;
+    curlen := !nlen
+  done;
+  Telemetry.add m_words !words
+
+(* Gather kernel: each wave sweeps all unsaturated vertices, ORing the
+   frontier words of their neighbors. All writes of the sweep touch only
+   the swept vertex's own cells, so the sweep parallelises over disjoint
+   vertex ranges; per-chunk discovery lists are reduced in ascending chunk
+   order (the Pool contract), making visit order — and therefore telemetry
+   — deterministic at any job count. *)
+let run_gather pool sc t ~sources ~visit =
+  let n = Flexcsr.n t in
+  let seen = sc.seen and front = sc.front and next = sc.next in
+  let off, len, arena = Flexcsr.rows t in
+  let s = Array.length sources in
+  let full = if s >= 63 then -1 else (1 lsl s) - 1 in
+  let qlen = seed_sources sc sources visit in
+  let prev = ref (Array.sub sc.q 0 qlen) in
+  let wave = ref 0 in
+  let words = ref 0 in
+  while Array.length !prev > 0 do
+    incr wave;
+    words := !words + Array.length !prev;
+    let changed =
+      Pool.fold_chunks pool ~n
+        ~fold:(fun ~lo ~hi ->
+          let found = ref [] in
+          for u = hi - 1 downto lo do
+            if seen.(u) <> full then begin
+              let f = ref 0 in
+              let base = off.(u) in
+              for i = base to base + len.(u) - 1 do
+                f := !f lor front.(arena.(i))
+              done;
+              let add = !f land lnot seen.(u) in
+              if add <> 0 then begin
+                next.(u) <- add;
+                seen.(u) <- seen.(u) lor add;
+                found := u :: !found
+              end
+            end
+          done;
+          !found)
+        ~reduce:(fun a b -> a @ b) ~zero:[]
+    in
+    Array.iter (fun v -> front.(v) <- 0) !prev;
+    let changed = Array.of_list changed in
+    Array.iter
+      (fun u ->
+        front.(u) <- next.(u);
+        next.(u) <- 0;
+        visit u !wave front.(u))
+      changed;
+    prev := changed
+  done;
+  Telemetry.add m_words !words
+
+let run ?pool sc t ~sources ~visit =
+  let n = Flexcsr.n t in
+  let s = Array.length sources in
+  if s = 0 || s > max_sources then
+    invalid_arg "Bitbfs.run: need 1..max_sources sources";
+  if n > sc.size then invalid_arg "Bitbfs.run: scratch too small";
+  Array.iter
+    (fun src ->
+      if src < 0 || src >= n then invalid_arg "Bitbfs.run: source out of range")
+    sources;
+  Array.fill sc.seen 0 n 0;
+  Array.fill sc.front 0 n 0;
+  Array.fill sc.next 0 n 0;
+  Telemetry.incr m_runs;
+  match pool with
+  | Some p when Pool.jobs p > 1 -> run_gather p sc t ~sources ~visit
+  | _ -> run_scatter sc t ~sources ~visit
+
+type stats = { ecc : int; sum : int; reached : int }
+
+let batched ?pool sc t ~sources ~visit_abs =
+  let s = Array.length sources in
+  let pos = ref 0 in
+  while !pos < s do
+    let k = min max_sources (s - !pos) in
+    let base = !pos in
+    let chunk = Array.sub sources base k in
+    run ?pool sc t ~sources:chunk ~visit:(fun u wave bits ->
+        iter_bits (fun i -> visit_abs u wave (base + i)) bits);
+    pos := !pos + k
+  done
+
+let sample_stats ?pool sc t ~sources =
+  let s = Array.length sources in
+  let ecc = Array.make s 0 and sum = Array.make s 0 and reached = Array.make s 0 in
+  batched ?pool sc t ~sources ~visit_abs:(fun _u wave i ->
+      reached.(i) <- reached.(i) + 1;
+      sum.(i) <- sum.(i) + wave;
+      if wave > ecc.(i) then ecc.(i) <- wave);
+  Array.init s (fun i -> { ecc = ecc.(i); sum = sum.(i); reached = reached.(i) })
+
+let distances ?pool sc t ~sources =
+  let n = Flexcsr.n t in
+  let d = Array.init (Array.length sources) (fun _ -> Array.make n (-1)) in
+  batched ?pool sc t ~sources ~visit_abs:(fun u wave i -> d.(i).(u) <- wave);
+  d

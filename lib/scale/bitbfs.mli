@@ -1,0 +1,61 @@
+(** Bit-parallel multi-source BFS over {!Flexcsr}.
+
+    One machine word per vertex carries the frontier membership of up to
+    {!max_sources} sources at once, so a batch of BFS waves costs one pass
+    over the touched adjacency per wave instead of one pass per source —
+    the kernel behind sampled eccentricity/mean-distance estimates and the
+    batched swap-candidate lower bounds of the scale engine.
+
+    Words are native [int]s (63 usable bits on 64-bit platforms): OCaml
+    [int64 array]s box every element, which would cost an indirection per
+    word per wave, so the batch width is 63, not 64.
+
+    Results are exact BFS distances (per source), delivered through a
+    [visit] callback invoked once per (vertex, wave) pair with the set of
+    sources that first reach the vertex at that wave. Accumulations must be
+    commutative over visit order: the sequential scatter kernel visits in
+    frontier-queue order, the optional {!Pool}-parallel gather kernel in
+    ascending vertex order, and both orders are deterministic.
+
+    Telemetry (under [scale.bitbfs.*]): runs and frontier words processed. *)
+
+val max_sources : int
+(** 63. *)
+
+type scratch
+(** Reusable per-run workspace (a few O(n) arrays); one scratch per
+    engine, not domain-shareable. *)
+
+val create_scratch : int -> scratch
+(** [create_scratch n] sizes the workspace for graphs with up to [n]
+    vertices. *)
+
+val run :
+  ?pool:Pool.t ->
+  scratch ->
+  Flexcsr.t ->
+  sources:int array ->
+  visit:(int -> int -> int -> unit) ->
+  unit
+(** [run sc t ~sources ~visit] performs one batched BFS from at most
+    {!max_sources} sources. [visit u wave bits] fires once per vertex [u]
+    per wave at which at least one new source reaches it; bit [i] of
+    [bits] corresponds to [sources.(i)] (sources themselves fire at wave
+    0). With [pool] (and [jobs > 1]) waves run as gather sweeps
+    parallelised over vertices — [visit] is still called sequentially.
+    @raise Invalid_argument on 0 or more than {!max_sources} sources. *)
+
+val iter_bits : (int -> unit) -> int -> unit
+(** [iter_bits f bits] calls [f] on each set bit index, lowest first. *)
+
+type stats = { ecc : int; sum : int; reached : int }
+
+val sample_stats :
+  ?pool:Pool.t -> scratch -> Flexcsr.t -> sources:int array -> stats array
+(** Per-source eccentricity, sum of finite distances, and reach count.
+    Any number of sources — batches of {!max_sources} internally. *)
+
+val distances :
+  ?pool:Pool.t -> scratch -> Flexcsr.t -> sources:int array -> int array array
+(** Full distance rows (−1 for unreached), one per source: the test
+    oracle hook. Any number of sources. *)

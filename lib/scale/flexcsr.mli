@@ -1,0 +1,83 @@
+(** Mutable CSR with per-row slack: the graph representation of the
+    large-n dynamics engine.
+
+    {!Graph.t} pays a pointer indirection and an unsorted row per vertex;
+    {!Csr.t} is contiguous but frozen. This structure keeps all adjacency
+    targets in one int arena like CSR, leaves a little spare capacity after
+    each row, and supports single-edge insertion/removal by shifting within
+    the row (rows stay {e sorted} — the order {!Graph.neighbors} reports,
+    which the byte-compat contract with {!Dynamics} depends on). A row that
+    outgrows its capacity is relocated to the arena tail with doubled
+    capacity; the abandoned slot is garbage we never reclaim, which is fine
+    because dynamics apply few moves relative to [m].
+
+    Not domain-safe under mutation. The BFS entry points below are the
+    scalar kernels of the scale engine; the swap/deletion variants answer
+    "distances after this move" {e without mutating the graph} by special-
+    casing the source row, so an exact candidate evaluation is one BFS, not
+    apply + BFS + undo. *)
+
+type t
+
+val of_csr : ?slack:int -> Csr.t -> t
+(** O(n + m). [slack] (default 2) spare slots per row. *)
+
+val of_graph : ?slack:int -> Graph.t -> t
+
+val to_csr : t -> Csr.t
+(** Compact snapshot of the current state. *)
+
+val to_graph : t -> Graph.t
+
+val n : t -> int
+
+val m : t -> int
+
+val degree : t -> int -> int
+
+val mem_edge : t -> int -> int -> bool
+(** O(lg deg). *)
+
+val neighbors : t -> int -> int array
+(** Sorted copy of the row (same order as {!Graph.neighbors}). *)
+
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+
+val add_edge : t -> int -> int -> unit
+(** @raise Invalid_argument on self-loops, range errors or present edges. *)
+
+val remove_edge : t -> int -> int -> unit
+(** @raise Invalid_argument when the edge is absent. *)
+
+val rows : t -> int array * int array * int array
+(** [(off, len, arena)]: row [v] occupies [arena.(off.(v) ..
+    off.(v) + len.(v) - 1)], sorted. Kernel access only — treat all three
+    as read-only, and re-fetch after any mutation (relocation may swap the
+    arena out from under a stale reference). *)
+
+(** {1 Scalar BFS kernels}
+
+    All take caller-owned scratch ([dist] and [queue], length >= n; [dist]
+    is filled with −1 for unreached) and return
+    [(reached, sum, ecc)] — vertices reached, the sum of finite distances
+    from the source, and the largest one. *)
+
+val bfs_stats : t -> int -> dist:int array -> queue:int array -> int * int * int
+
+val bfs_delete_stats :
+  t -> int -> drop:int -> dist:int array -> queue:int array -> int * int * int
+(** Distances from [src] in [G − (src,drop)], without mutating [t]. The
+    removed edge only matters when scanned from [src] (the reverse
+    direction re-enters the settled source), so skipping one target in the
+    source row is exact. *)
+
+val bfs_swap_stats :
+  t ->
+  int ->
+  drop:int ->
+  add:int ->
+  dist:int array ->
+  queue:int array ->
+  int * int * int
+(** Distances from [src] in [G − (src,drop) + (src,add)], without mutating
+    [t]. Requires [add] not currently adjacent to [src]. *)

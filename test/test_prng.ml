@@ -120,6 +120,26 @@ let test_sample_distinct_full () =
     (Array.init 8 (fun i -> i))
     sorted
 
+let test_substream () =
+  (* a substream is a pure function of (seed, index): creation order and
+     sibling draws don't matter, indices (negative included) are
+     independent streams *)
+  let a5 = Prng.substream 9 5 in
+  ignore (Prng.bits64 a5);
+  let a3 = Prng.substream 9 3 in
+  let b3 = Prng.substream 9 3 in
+  ignore (Prng.bits64 (Prng.substream 9 7));
+  let b5 = Prng.substream 9 5 in
+  ignore (Prng.bits64 b5);
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "pair-determined" (Prng.bits64 a3) (Prng.bits64 b3);
+    Alcotest.(check int64) "order-independent" (Prng.bits64 a5) (Prng.bits64 b5)
+  done;
+  check_false "indices differ" (Prng.bits64 (Prng.substream 9 0) = Prng.bits64 (Prng.substream 9 1));
+  check_false "seeds differ" (Prng.bits64 (Prng.substream 9 0) = Prng.bits64 (Prng.substream 10 0));
+  check_false "negative index is its own stream"
+    (Prng.bits64 (Prng.substream 9 (-1)) = Prng.bits64 (Prng.substream 9 1))
+
 let test_hash64_injective_sample () =
   (* no collisions on a small structured sample *)
   let seen = Hashtbl.create 1024 in
@@ -146,5 +166,6 @@ let suite =
     case "shuffle is a permutation" test_shuffle_permutation;
     case "sample_distinct" test_sample_distinct;
     case "sample_distinct full" test_sample_distinct_full;
+    case "substream" test_substream;
     case "hash64 collision-free sample" test_hash64_injective_sample;
   ]
