@@ -28,10 +28,11 @@ bench-compare:
 	dune exec bench/loadgen.exe -- --atlas /tmp/bncg_atlas_bench \
 	  --json /tmp/bncg_atlas_fresh.json
 	dune exec bench/scaledyn.exe -- --quick --json /tmp/bncg_scaledyn_fresh.json
+	dune exec bench/orderlybench.exe -- --quick --json /tmp/bncg_orderly_fresh.json
 	dune exec bench/compare.exe -- --baseline BENCH_baseline.json \
 	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json \
 	  /tmp/bncg_pipelined_fresh.json /tmp/bncg_atlas_fresh.json \
-	  /tmp/bncg_scaledyn_fresh.json
+	  /tmp/bncg_scaledyn_fresh.json /tmp/bncg_orderly_fresh.json
 
 # refresh the committed baseline after an intentional perf change
 bench-baseline:
@@ -43,10 +44,11 @@ bench-baseline:
 	dune exec bench/loadgen.exe -- --atlas /tmp/bncg_atlas_bench \
 	  --json /tmp/bncg_atlas_fresh.json
 	dune exec bench/scaledyn.exe -- --quick --json /tmp/bncg_scaledyn_fresh.json
+	dune exec bench/orderlybench.exe -- --quick --json /tmp/bncg_orderly_fresh.json
 	dune exec bench/compare.exe -- --merge BENCH_baseline.json \
 	  /tmp/bncg_bench_fresh.json /tmp/bncg_loadgen_fresh.json \
 	  /tmp/bncg_pipelined_fresh.json /tmp/bncg_atlas_fresh.json \
-	  /tmp/bncg_scaledyn_fresh.json
+	  /tmp/bncg_scaledyn_fresh.json /tmp/bncg_orderly_fresh.json
 
 # distributed-census acceptance gate: healthy / flaky / crash / resume
 # phases over real sockets, each gated on byte-identity with the

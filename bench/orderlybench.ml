@@ -1,0 +1,109 @@
+(* Wall-clock benchmark for the orderly-generation census: one full
+   census per vertex count, reporting generation throughput and the
+   search overhead per emitted class.
+
+     dune exec bench/orderlybench.exe                  -- n up to 8
+     dune exec bench/orderlybench.exe -- --quick       -- n up to 7
+     dune exec bench/orderlybench.exe -- --n 9
+     dune exec bench/orderlybench.exe -- --json FILE   -- {benchmark, ns_per_run}
+                                                     rows, same shape as
+                                                     bench/main.exe
+
+   Deterministic end to end (the generation tree has a fixed DFS order),
+   so besides the timings the JSON carries the emitted class count and
+   the generation-tree nodes explored per class — correctness canaries
+   the perf gate watches with the same tolerance machinery. *)
+
+let max_n = ref 8
+
+let json = ref None
+
+let () =
+  let rec scan = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      max_n := 7;
+      scan rest
+    | "--n" :: v :: rest ->
+      max_n := int_of_string v;
+      scan rest
+    | "--json" :: path :: rest ->
+      json := Some path;
+      scan rest
+    | arg :: _ ->
+      Printf.eprintf
+        "orderlybench: unknown argument %s (expected --quick, --n N, --json FILE)\n"
+        arg;
+      exit 2
+  in
+  scan (List.tl (Array.to_list Sys.argv))
+
+(* fail before the run, not after it — same pattern as bench/main.exe *)
+let () =
+  match !json with
+  | None -> ()
+  | Some path -> (
+    match open_out path with
+    | oc -> close_out oc
+    | exception Sys_error msg ->
+      Printf.eprintf "orderlybench: cannot write --json target: %s\n" msg;
+      exit 2)
+
+let rows = ref []
+
+let row name ns = rows := (name, ns) :: !rows
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e9)
+
+let generated = Telemetry.counter "census.orderly.generated"
+
+let rejected = Telemetry.counter "census.orderly.rejected"
+
+let () = Telemetry.set_enabled true
+
+let level n =
+  (* pure generation: the tree walk alone, no equilibrium checks *)
+  Telemetry.reset ();
+  let classes, gen_ns = timed (fun () -> Orderly.count n) in
+  let nodes =
+    Telemetry.counter_value generated + Telemetry.counter_value rejected
+  in
+  let per_class = float_of_int nodes /. float_of_int classes in
+  row (Printf.sprintf "census-orderly/gen-wall-n%d" n) gen_ns;
+  row (Printf.sprintf "census-orderly/nodes-per-class-n%d" n) per_class;
+  row (Printf.sprintf "census-orderly/classes-n%d" n) (float_of_int classes);
+  (* the full census: generation + equilibrium verdict per class *)
+  let census, wall_ns =
+    timed (fun () -> Census.orderly_census Usage_cost.Sum n)
+  in
+  row (Printf.sprintf "census-orderly/wall-n%d" n) wall_ns;
+  Printf.printf
+    "n=%d: %7d classes  %5d equilibria  %6.2f nodes/class  gen %8.1f ms  \
+     census %8.1f ms\n%!"
+    n classes
+    (List.length census.Census.equilibria_iso)
+    per_class (gen_ns /. 1e6) (wall_ns /. 1e6)
+
+let () =
+  for n = 5 to !max_n do
+    level n
+  done;
+  match !json with
+  | None -> ()
+  | Some path ->
+    let rows = List.rev !rows in
+    let oc = open_out path in
+    output_string oc "[\n";
+    let last = List.length rows - 1 in
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "  {\"benchmark\": %S, \"ns_per_run\": %.3f}%s\n" name
+          ns
+          (if i = last then "" else ","))
+      rows;
+    output_string oc "]\n";
+    close_out oc;
+    Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path

@@ -483,9 +483,11 @@ let print_graph_census (c : Census.graph_census) =
     (fun g -> Printf.printf "  representative: %s\n" (Graph6.encode g))
     c.Census.equilibria_iso
 
-let census version n trees jobs workers parts retries timeout journal atlas_dir
-    stats stats_json =
+let census version n trees strategy jobs workers parts retries timeout journal
+    atlas_dir stats stats_json =
   with_stats stats stats_json @@ fun () ->
+  if trees && strategy = `Orderly then
+    invalid_arg "--strategy orderly applies to the graph census, not --trees";
   let atlas =
     match atlas_dir with
     | None -> None
@@ -513,11 +515,20 @@ let census version n trees jobs workers parts retries timeout journal atlas_dir
       `Ok ()
     end
     else begin
-      print_graph_census (Census.graph_census ?atlas ~pool version n);
+      (* both strategies print through the same function: the orderly
+         census record is byte-identical to the rank-range one wherever
+         both can run (CI diffs them) *)
+      print_graph_census
+        (match strategy with
+        | `Orderly -> Census.orderly_census ?atlas ~pool version n
+        | `Rank -> Census.graph_census ?atlas ~pool version n);
       `Ok ()
     end
   else begin
-    let kind = if trees then Census.Trees else Census.Graphs in
+    let kind =
+      if trees then Census.Trees
+      else match strategy with `Orderly -> Census.Orderly | `Rank -> Census.Graphs
+    in
     let workers =
       List.mapi
         (fun i -> function
@@ -541,7 +552,7 @@ let census version n trees jobs workers parts retries timeout journal atlas_dir
     | Ok (result, st) ->
       (match result with
       | Census.Tree_result c -> print_tree_census c
-      | Census.Graph_result c -> print_graph_census c);
+      | Census.Graph_result c | Census.Orderly_result c -> print_graph_census c);
       Printf.eprintf
         "dispatch: %d shards, %d journal hits, %d dispatched, %d retried, %d recovered\n"
         st.Dispatch.shards st.Dispatch.journal_hits st.Dispatch.dispatched
@@ -576,6 +587,19 @@ let census_cmd =
   in
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Vertex count (graphs <= 8, trees <= 10).") in
   let trees = Arg.(value & flag & info [ "trees" ] ~doc:"Census over trees instead of all connected graphs.") in
+  let strategy =
+    let doc =
+      "How the graph census enumerates isomorphism classes: $(b,rank) \
+       walks the rank-range space of labeled graphs and dedups by \
+       canonical form; $(b,orderly) generates one representative per \
+       class by canonical construction path (no dedup, reaches higher \
+       $(b,-n)). Output is byte-identical between the two."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("rank", `Rank); ("orderly", `Orderly) ]) `Rank
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+  in
   let workers =
     let doc =
       "Distribute the census across this worker fleet instead of running \
@@ -624,19 +648,19 @@ let census_cmd =
     in
     Arg.(value & opt (some string) None & info [ "atlas" ] ~docv:"DIR" ~doc)
   in
-  let run version n trees jobs workers parts retries timeout journal atlas stats
-      stats_json =
+  let run version n trees strategy jobs workers parts retries timeout journal
+      atlas stats stats_json =
     try
-      census version n trees jobs workers parts retries timeout journal atlas
-        stats stats_json
+      census version n trees strategy jobs workers parts retries timeout journal
+        atlas stats stats_json
     with Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
     (Cmd.info "census" ~doc:"Exhaustively classify equilibria on small vertex counts")
     Term.(
       ret
-        (const run $ version $ n $ trees $ jobs_arg $ workers $ parts $ retries
-        $ timeout $ journal $ atlas $ stats_arg $ stats_json_arg))
+        (const run $ version $ n $ trees $ strategy $ jobs_arg $ workers $ parts
+        $ retries $ timeout $ journal $ atlas $ stats_arg $ stats_json_arg))
 
 (* --- experiment -------------------------------------------------------------- *)
 

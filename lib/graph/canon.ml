@@ -145,6 +145,133 @@ let canonical_form g =
     Printf.sprintf "%d:%s" n (Bytes.to_string !best)
   end
 
+(* --- certificate with labeling, group order and position orbits -------- *)
+
+type cert = {
+  form : string;
+  perm : int array;
+  aut_count : int;
+  position_vertices : int array;
+}
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+(* Complete graphs are the worst case for the search below (a single
+   color class, every branch ties, n! optimal leaves), and the orderly
+   census hits K_n at every level — so they get a closed form. *)
+let complete_cert n =
+  let total_bits = n * (n - 1) / 2 in
+  {
+    form = Printf.sprintf "%d:%s" n (String.make total_bits '1');
+    perm = Array.init n Fun.id;
+    aut_count = factorial n;
+    position_vertices = Array.make n ((1 lsl n) - 1);
+  }
+
+(* Same search as [canonical_form], extended with the three facts the
+   orderly census needs and that only the search can provide: one optimal
+   labeling, the number of optimal leaves, and for each canonical
+   position the set of vertices some optimal labeling places there.
+   Two labelings produce the same minimal string iff they differ by an
+   automorphism, so the optimal-leaf count IS |Aut(g)| and the vertex
+   set at position [p] IS the automorphism orbit of the vertex any
+   optimal labeling puts at [p]. *)
+let cert g =
+  check_cap g;
+  let n = Graph.n g in
+  if n = 0 then
+    { form = ""; perm = [||]; aut_count = 1; position_vertices = [||] }
+  else if Graph.m g = n * (n - 1) / 2 then complete_cert n
+  else begin
+    let color = refine g in
+    let target =
+      let sorted = Array.copy color in
+      Array.sort compare sorted;
+      sorted
+    in
+    let total_bits = n * (n - 1) / 2 in
+    let buf = Bytes.create total_bits in
+    let best = ref (Bytes.make total_bits '1') in
+    let have_best = ref false in
+    let perm = Array.make n (-1) in
+    let used = Array.make n false in
+    let best_perm = Array.make n (-1) in
+    let leaves = ref 0 in
+    let seen = Array.make n 0 in
+    let record_leaf () =
+      incr leaves;
+      for p = 0 to n - 1 do
+        seen.(p) <- seen.(p) lor (1 lsl perm.(p))
+      done
+    in
+    let col_off v = v * (v - 1) / 2 in
+    let rec go v lt =
+      if v = n then begin
+        if lt || not !have_best then begin
+          Bytes.blit buf 0 !best 0 total_bits;
+          have_best := true;
+          Array.blit perm 0 best_perm 0 n;
+          leaves := 0;
+          Array.fill seen 0 n 0;
+          record_leaf ();
+          true
+        end
+        else begin
+          (* equal prefix all the way down: the full string ties the
+             incumbent, i.e. this labeling is optimal too *)
+          record_leaf ();
+          false
+        end
+      end
+      else begin
+        let updated = ref false in
+        let lt_state = ref lt in
+        for candidate = 0 to n - 1 do
+          if (not used.(candidate)) && color.(candidate) = target.(v) then begin
+            let off = col_off v in
+            for j = 0 to v - 1 do
+              Bytes.set buf (off + j)
+                (if Graph.mem_edge g perm.(j) candidate then '1' else '0')
+            done;
+            let verdict =
+              if !lt_state || not !have_best then -1
+              else begin
+                let rec cmp j =
+                  if j >= v then 0
+                  else begin
+                    let c =
+                      Char.compare (Bytes.get buf (off + j)) (Bytes.get !best (off + j))
+                    in
+                    if c <> 0 then c else cmp (j + 1)
+                  end
+                in
+                cmp 0
+              end
+            in
+            if verdict <= 0 then begin
+              used.(candidate) <- true;
+              perm.(v) <- candidate;
+              if go (v + 1) (!lt_state || verdict < 0) then begin
+                lt_state := false;
+                updated := true
+              end;
+              used.(candidate) <- false;
+              perm.(v) <- -1
+            end
+          end
+        done;
+        !updated
+      end
+    in
+    ignore (go 0 false);
+    {
+      form = Printf.sprintf "%d:%s" n (Bytes.to_string !best);
+      perm = best_perm;
+      aut_count = !leaves;
+      position_vertices = seen;
+    }
+  end
+
 let isomorphic a b =
   Graph.n a = Graph.n b
   && Graph.m a = Graph.m b
@@ -190,6 +317,46 @@ let automorphisms g =
   !out
 
 let automorphism_count g = List.length (automorphisms g)
+
+exception Over_cap
+
+(* [automorphisms] with an escape hatch: highly symmetric graphs (K_k
+   and friends) have groups far too large to materialize, and callers
+   that only use the list to orbit-partition a small set can fall back
+   to something else when the group is huge. *)
+let automorphisms_capped ~cap g =
+  check_cap g;
+  let n = Graph.n g in
+  let color = refine g in
+  let image = Array.make n (-1) in
+  let used = Array.make n false in
+  let out = ref [] in
+  let count = ref 0 in
+  let consistent v w =
+    let ok = ref true in
+    for u = 0 to v - 1 do
+      if Graph.mem_edge g u v <> Graph.mem_edge g image.(u) w then ok := false
+    done;
+    !ok
+  in
+  let rec go v =
+    if v = n then begin
+      incr count;
+      if !count > cap then raise Over_cap;
+      out := Array.copy image :: !out
+    end
+    else
+      for w = 0 to n - 1 do
+        if (not used.(w)) && color.(w) = color.(v) && consistent v w then begin
+          used.(w) <- true;
+          image.(v) <- w;
+          go (v + 1);
+          used.(w) <- false;
+          image.(v) <- -1
+        end
+      done
+  in
+  match go 0 with () -> Some !out | exception Over_cap -> None
 
 let orbits g =
   let n = Graph.n g in

@@ -25,9 +25,39 @@ val isomorphic : Graph.t -> Graph.t -> bool
 (** Cheap invariants first (n, m, degree sequence, refined color histogram),
     then certificate comparison. *)
 
+(** {1 Certificate with labeling}
+
+    The orderly census ({!Orderly}) needs more than the bare string: a
+    labeling that achieves it, the automorphism group order (for
+    orbit-stabilizer labeled counting), and the orbit of each canonical
+    position (for the canonical-deletion test). All four come out of the
+    single backtracking search. *)
+
+type cert = {
+  form : string;  (** equals {!canonical_form}. *)
+  perm : int array;
+      (** one optimal labeling: [perm.(p)] is the vertex placed at
+          canonical position [p]. *)
+  aut_count : int;  (** [|Aut(g)|], counted as optimal-leaf labelings. *)
+  position_vertices : int array;
+      (** [position_vertices.(p)] is the bitmask of vertices that some
+          optimal labeling places at position [p] — exactly the
+          automorphism orbit of [perm.(p)]. *)
+}
+
+val cert : Graph.t -> cert
+(** Same cost profile as {!canonical_form} (equal-prefix branches were
+    already explored); complete graphs short-circuit to a closed form. *)
+
 val automorphisms : Graph.t -> int array list
 (** All automorphisms as permutation arrays ([σ.(v)] is the image of [v]).
     Includes the identity. *)
+
+val automorphisms_capped : cap:int -> Graph.t -> int array list option
+(** [automorphisms_capped ~cap g] is [Some] of the full group when its
+    order is at most [cap], [None] otherwise (the search aborts on the
+    [cap+1]-th element, so pathological groups cost O(cap), not
+    O(n!)). *)
 
 val automorphism_count : Graph.t -> int
 

@@ -268,9 +268,77 @@ let merge_graph_census a b =
   in
   census_of_graph_shard a.n shard
 
+(* --- orderly census -------------------------------------------------------
+
+   Same outputs as the rank-range graph census, produced from one
+   canonical representative per isomorphism class instead of 2^(n(n-1)/2)
+   labeled copies: labeled counts come from orbit-stabilizer
+   (n!/|Aut| copies per class, summed), and the reported representative
+   of each equilibrium class is the minimum-mask labeling — exactly the
+   copy the mask sweep sees first. The record is therefore byte-identical
+   to [graph_census] wherever both can run, while the class walk reaches
+   n = 11 where the mask space is 2^55. *)
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let orderly_census_in ?atlas version n ~lo ~hi =
+  let connected = ref 0 in
+  let labeled = ref 0 in
+  let reps = ref [] in
+  let copies_of_class = factorial n in
+  let t0 = Telemetry.start () in
+  Orderly.iter ~lo ~hi n (fun g cert ->
+      let copies = copies_of_class / cert.Canon.aut_count in
+      connected := !connected + copies;
+      if is_equilibrium_via ?atlas version g then begin
+        labeled := !labeled + copies;
+        let rep = Orderly.representative g cert in
+        reps := (Orderly.mask_of_graph rep, rep) :: !reps
+      end);
+  Telemetry.stop m_shard t0;
+  (* ascending mask order = the order the legacy sweep first sees each
+     class; shards cover disjoint class sets, so merges stay sorted *)
+  let reps = List.sort (fun (a, _) (b, _) -> compare a b) !reps in
+  census_of_graph_shard n
+    {
+      s_connected = !connected;
+      s_labeled = !labeled;
+      s_reps = List.map (fun (k, g) -> (string_of_int k, g)) reps;
+    }
+
+let merge_orderly_census a b =
+  if a.n <> b.n then invalid_arg "Census.merge_orderly_census: different n";
+  (* disjoint sorted class lists: a plain merge by mask key keeps the
+     whole list in legacy first-seen order whatever the merge order of
+     adjacent shards *)
+  let key = Orderly.mask_of_graph in
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xt, y :: yt ->
+      if key x <= key y then x :: merge xt ys else y :: merge xs yt
+  in
+  let iso = merge a.equilibria_iso b.equilibria_iso in
+  census_of_graph_shard a.n
+    {
+      s_connected = a.connected + b.connected;
+      s_labeled = a.equilibria_labeled + b.equilibria_labeled;
+      s_reps = List.map (fun g -> ("", g)) iso;
+    }
+
+let orderly_census ?atlas ?pool version n =
+  let total = Orderly.space n in
+  match pool with
+  | Some pool when Pool.jobs pool > 1 ->
+    Pool.fold_chunks pool ~n:total
+      ~fold:(fun ~lo ~hi -> orderly_census_in ?atlas version n ~lo ~hi)
+      ~reduce:merge_orderly_census
+      ~zero:(orderly_census_in version n ~lo:0 ~hi:0)
+  | _ -> orderly_census_in ?atlas version n ~lo:0 ~hi:total
+
 (* --- unified shard API ---------------------------------------------------- *)
 
-type kind = Trees | Graphs
+type kind = Trees | Graphs | Orderly
 
 type shard = {
   kind : kind;
@@ -280,23 +348,32 @@ type shard = {
   hi : int;
 }
 
-type result = Tree_result of tree_census | Graph_result of graph_census
+type result =
+  | Tree_result of tree_census
+  | Graph_result of graph_census
+  | Orderly_result of graph_census
 
-let kind_name = function Trees -> "trees" | Graphs -> "graphs"
+let kind_name = function
+  | Trees -> "trees"
+  | Graphs -> "graphs"
+  | Orderly -> "orderly"
 
 let kind_of_name = function
   | "trees" -> Some Trees
   | "graphs" -> Some Graphs
+  | "orderly" -> Some Orderly
   | _ -> None
 
 let max_shard_vertices = function
   | Trees -> Enumerate.max_tree_vertices
   | Graphs -> Enumerate.max_graph_vertices
+  | Orderly -> Orderly.max_vertices
 
 let shard_space kind n =
   match kind with
   | Trees -> Enumerate.count_trees n
   | Graphs -> Enumerate.graph_mask_count n
+  | Orderly -> Orderly.space n
 
 let validate_shard s =
   let max_n = max_shard_vertices s.kind in
@@ -336,6 +413,8 @@ let run_shard ?atlas s =
     Graph_result
       (census_of_graph_shard s.n
          (graph_shard_of_range ?atlas s.version s.n ~lo:s.lo ~hi:s.hi))
+  | Orderly ->
+    Orderly_result (orderly_census_in ?atlas s.version s.n ~lo:s.lo ~hi:s.hi)
 
 let split s ~parts =
   if parts < 1 then invalid_arg "Census.split: parts must be >= 1";
@@ -351,14 +430,16 @@ let merge_result a b =
   match (a, b) with
   | Tree_result a, Tree_result b -> Tree_result (merge_tree_census a b)
   | Graph_result a, Graph_result b -> Graph_result (merge_graph_census a b)
+  | Orderly_result a, Orderly_result b ->
+    Orderly_result (merge_orderly_census a b)
   | _ -> invalid_arg "Census.merge_result: mixed census kinds"
 
 let tree_census_in version n ~lo ~hi =
   match run_shard { kind = Trees; version; n; lo; hi } with
   | Tree_result c -> c
-  | Graph_result _ -> assert false
+  | Graph_result _ | Orderly_result _ -> assert false
 
 let graph_census_in ?atlas version n ~lo ~hi =
   match run_shard ?atlas { kind = Graphs; version; n; lo; hi } with
   | Graph_result c -> c
-  | Tree_result _ -> assert false
+  | Tree_result _ | Orderly_result _ -> assert false

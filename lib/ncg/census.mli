@@ -58,16 +58,42 @@ val merge_graph_census : graph_census -> graph_census -> graph_census
     with the lower-mask shard winning, so folding disjoint adjacent
     shards in order reproduces the full census. Requires equal [n]. *)
 
+val orderly_census :
+  ?atlas:Atlas.t -> ?pool:Pool.t -> Usage_cost.version -> int -> graph_census
+(** The graph census via orderly (canonical-construction-path)
+    enumeration: one {!Orderly.iter} visit per isomorphism class, labeled
+    counts recovered by orbit-stabilizer ([n!/|Aut|] copies per class)
+    and equilibrium representatives reported as minimum-mask labelings in
+    ascending mask order — byte-identical to {!graph_census} wherever
+    both can run, but reaching [n <=] {!Orderly.max_vertices} (11)
+    because the walk is over classes, not the [2^(n(n-1)/2)] mask space.
+    [?pool] shards the orderly root range across domains; [?atlas]
+    memoizes per-generated-representative verdicts (keys are the orderly
+    copies' graph6, so orderly and rank-range runs populate disjoint
+    entries). *)
+
+val merge_orderly_census : graph_census -> graph_census -> graph_census
+(** Counts add; the disjoint sorted representative lists merge by mask
+    key, so any adjacent-merge order reproduces the sequential record.
+    Requires equal [n]. *)
+
+val orderly_census_in :
+  ?atlas:Atlas.t -> Usage_cost.version -> int -> lo:int -> hi:int -> graph_census
+(** One shard of the orderly census: only the generation subtrees of
+    roots [lo .. hi - 1] at {!Orderly.base_level} (see {!Orderly.iter}).
+    @raise Invalid_argument unless [0 <= lo <= hi <= Orderly.space n]. *)
+
 (** {1 Unified shard API}
 
     One descriptor for "a contiguous piece of a census" — the unit of
     work shared by the serving layer's [census-shard] method, the
     distributed dispatcher ({!Dispatch} in [lib/serve]) and the journal
-    format. Ranks are Prüfer ranks for {!Trees} and edge-subset masks
-    for {!Graphs}; disjoint adjacent shards merged in ascending rank
-    order reproduce the full census exactly. *)
+    format. Ranks are Prüfer ranks for {!Trees}, edge-subset masks for
+    {!Graphs} and generation-tree root indices for {!Orderly}; disjoint
+    adjacent shards merged in ascending rank order reproduce the full
+    census exactly (for {!Orderly}, any adjacent-merge order does). *)
 
-type kind = Trees | Graphs
+type kind = Trees | Graphs | Orderly
 
 type shard = {
   kind : kind;
@@ -77,10 +103,16 @@ type shard = {
   hi : int;  (** exclusive end rank *)
 }
 
-type result = Tree_result of tree_census | Graph_result of graph_census
+type result =
+  | Tree_result of tree_census
+  | Graph_result of graph_census
+  | Orderly_result of graph_census
+      (** Same record as {!Graph_result} — the orderly path computes the
+          identical census — but a distinct constructor so merges can
+          never mix the two shard geometries. *)
 
 val kind_name : kind -> string
-(** The wire name: ["trees"] or ["graphs"]. *)
+(** The wire name: ["trees"], ["graphs"] or ["orderly"]. *)
 
 val kind_of_name : string -> kind option
 

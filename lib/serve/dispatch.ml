@@ -139,7 +139,8 @@ let load_journal path ~header ~index_of ~kind =
               | Some i, Ok r
                 when (match r with
                      | Census.Tree_result _ -> kind = Census.Trees
-                     | Census.Graph_result _ -> kind = Census.Graphs) ->
+                     | Census.Graph_result _ -> kind = Census.Graphs
+                     | Census.Orderly_result _ -> kind = Census.Orderly) ->
                 Some (i, r)
               | _ -> None)
             | _ -> None)

@@ -122,7 +122,8 @@ let parse_request line =
                     | Some k -> Ok k
                     | None ->
                       Error
-                        (Printf.sprintf "unknown kind %S (expected trees or graphs)" s))
+                        (Printf.sprintf
+                           "unknown kind %S (expected trees, graphs or orderly)" s))
                   | None -> Error "missing params.kind"
                 in
                 match (kind, int_param "n", int_param "lo", int_param "hi") with
@@ -203,10 +204,10 @@ let tree_census_result (c : Census.tree_census) =
       ("witnesses_verified", Jsonx.Int c.Census.witnesses_verified);
     ]
 
-let graph_census_result (c : Census.graph_census) =
+let graph_census_result ?(kind = "graphs") (c : Census.graph_census) =
   Jsonx.Obj
     [
-      ("kind", Jsonx.Str "graphs");
+      ("kind", Jsonx.Str kind);
       ("n", Jsonx.Int c.Census.n);
       ("connected", Jsonx.Int c.Census.connected);
       ("equilibria_labeled", Jsonx.Int c.Census.equilibria_labeled);
@@ -225,6 +226,7 @@ let graph_census_result (c : Census.graph_census) =
 let census_result = function
   | Census.Tree_result c -> tree_census_result c
   | Census.Graph_result c -> graph_census_result c
+  | Census.Orderly_result c -> graph_census_result ~kind:"orderly" c
 
 (* --- census result decoders ----------------------------------------------- *)
 
@@ -310,7 +312,9 @@ let census_result_of_json json =
     Result.map (fun c -> Census.Tree_result c) (tree_census_of_json json)
   | Some (Jsonx.Str "graphs") ->
     Result.map (fun c -> Census.Graph_result c) (graph_census_of_json json)
-  | _ -> Error "census result: missing \"kind\" (trees or graphs)"
+  | Some (Jsonx.Str "orderly") ->
+    Result.map (fun c -> Census.Orderly_result c) (graph_census_of_json json)
+  | _ -> Error "census result: missing \"kind\" (trees, graphs or orderly)"
 
 (* --- request builders ----------------------------------------------------- *)
 

@@ -73,7 +73,10 @@ val verdict_is_invariant : Equilibrium.verdict -> bool
 
 val tree_census_result : Census.tree_census -> Jsonx.t
 
-val graph_census_result : Census.graph_census -> Jsonx.t
+val graph_census_result : ?kind:string -> Census.graph_census -> Jsonx.t
+(** [?kind] tags the record's ["kind"] member (default ["graphs"]); the
+    orderly census shares the record but must round-trip as ["orderly"]
+    so merges never mix shard geometries. *)
 
 val census_result : Census.result -> Jsonx.t
 (** {!tree_census_result} / {!graph_census_result} behind the unified

@@ -109,7 +109,7 @@ let test_split_properties () =
           check_true "split is deterministic"
             (pieces = Census.split full ~parts))
         [ 1; 2; 3; 7; 16; 1000 ])
-    [ (Census.Trees, 5); (Census.Graphs, 4) ];
+    [ (Census.Trees, 5); (Census.Graphs, 4); (Census.Orderly, 6) ];
   (* an empty range stays a single empty shard *)
   let empty = { (Census.full_shard Census.Trees Usage_cost.Sum 5) with Census.lo = 9; hi = 9 } in
   (match Census.split empty ~parts:4 with
@@ -123,15 +123,43 @@ let test_run_shard_matches_wrappers () =
   | Census.Tree_result c ->
     check_true "tree shard = tree_census_in"
       (c = Census.tree_census_in Usage_cost.Max 5 ~lo:10 ~hi:90)
-  | Census.Graph_result _ -> check_true "tree kind" false);
+  | _ -> check_true "tree kind" false);
   let g = Census.full_shard Census.Graphs Usage_cost.Sum 4 in
   let g = { g with Census.lo = 8; hi = 40 } in
-  match Census.run_shard g with
+  (match Census.run_shard g with
   | Census.Graph_result c ->
     check_int "graph shard = graph_census_in"
       (Census.graph_census_in Usage_cost.Sum 4 ~lo:8 ~hi:40).Census.connected
       c.Census.connected
-  | Census.Tree_result _ -> check_true "graph kind" false
+  | _ -> check_true "graph kind" false);
+  let o = Census.full_shard Census.Orderly Usage_cost.Sum 5 in
+  let o = { o with Census.lo = 2; hi = 14 } in
+  match Census.run_shard o with
+  | Census.Orderly_result c ->
+    check_true "orderly shard = orderly_census_in"
+      (c = Census.orderly_census_in Usage_cost.Sum 5 ~lo:2 ~hi:14)
+  | _ -> check_true "orderly kind" false
+
+(* The tentpole's acceptance bar: the orderly census record must equal
+   the rank-range one field for field — counts, histogram, and the
+   representative list in the same (first-seen mask) order — so the two
+   strategies print identical bytes. *)
+let orderly_identity version n =
+  let a = Census.graph_census version n in
+  let b = Census.orderly_census version n in
+  check_true "orderly census = rank-range census"
+    (String.equal
+       (Jsonx.to_string (Rpc.graph_census_result a))
+       (Jsonx.to_string (Rpc.graph_census_result b)))
+
+let test_orderly_identity_small () =
+  orderly_identity Usage_cost.Sum 4;
+  orderly_identity Usage_cost.Sum 5;
+  orderly_identity Usage_cost.Max 5
+
+let test_orderly_identity_n6 () =
+  orderly_identity Usage_cost.Sum 6;
+  orderly_identity Usage_cost.Max 6
 
 let test_merge_result_rejects_mixed () =
   let t = Census.run_shard (Census.full_shard Census.Trees Usage_cost.Sum 4) in
@@ -174,6 +202,8 @@ let tree_perm_env = merge_perm_env Census.Trees Usage_cost.Sum 6 7
 
 let graph_perm_env = merge_perm_env Census.Graphs Usage_cost.Max 4 6
 
+let orderly_perm_env = merge_perm_env Census.Orderly Usage_cost.Sum 6 7
+
 let suite =
   [
     case "tree census sum (n <= 7)" test_tree_census_sum_small;
@@ -189,6 +219,8 @@ let suite =
     case "histogram consistency" test_histogram_consistent;
     case "split: cover, adjacency, determinism" test_split_properties;
     case "run_shard matches the census_in wrappers" test_run_shard_matches_wrappers;
+    case "orderly census identical to rank-range (n <= 5)" test_orderly_identity_small;
+    slow_case "orderly census identical to rank-range (n = 6)" test_orderly_identity_n6;
     case "merge_result rejects mixed kinds" test_merge_result_rejects_mixed;
     qcheck ~count:40 "tree census: any adjacent-merge order is identical"
       QCheck2.Gen.(int_range 0 1_000_000)
@@ -196,4 +228,7 @@ let suite =
     qcheck ~count:40 "graph census: any adjacent-merge order is identical"
       QCheck2.Gen.(int_range 0 1_000_000)
       (merge_in_seeded_order graph_perm_env);
+    qcheck ~count:40 "orderly census: any adjacent-merge order is identical"
+      QCheck2.Gen.(int_range 0 1_000_000)
+      (merge_in_seeded_order orderly_perm_env);
   ]
