@@ -26,7 +26,7 @@
 
 let n = ref 6
 
-let game = ref Usage_cost.Max
+let game = ref Game.Max
 
 let json = ref None
 
@@ -37,10 +37,10 @@ let () =
       n := int_of_string v;
       scan rest
     | "--game" :: "sum" :: rest ->
-      game := Usage_cost.Sum;
+      game := Game.Sum;
       scan rest
     | "--game" :: "max" :: rest ->
-      game := Usage_cost.Max;
+      game := Game.Max;
       scan rest
     | "--json" :: path :: rest ->
       json := Some path;

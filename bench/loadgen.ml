@@ -36,6 +36,11 @@
                    cache hits
      check-torus   max-check of the 3x3 torus, identical bytes every
                    time — exact-key cache hits
+     check-legacy  the same torus max-check spelled the pre-registry
+                   way (a "version" field instead of "game") — old
+                   clients must keep getting the exact same bytes
+     check-alpha   alpha:1-check of the rotating star — the variant
+                   game through the same entry point
      info-path     info on the 8-path
      ping          protocol floor
      malformed     (only with --malformed) unparseable line; the server
@@ -142,14 +147,16 @@ type cls = { name : string; well_formed : bool; request : id:int -> int -> strin
 
 let obj fields = Jsonx.to_string (Jsonx.Obj fields)
 
-let check_req ~id game g6 =
+let check_req_field ~id field game g6 =
   obj
     [
       ("id", Jsonx.Int id);
       ("method", Jsonx.Str "check");
       ( "params",
-        Jsonx.Obj [ ("game", Jsonx.Str game); ("graph6", Jsonx.Str g6) ] );
+        Jsonx.Obj [ (field, Jsonx.Str game); ("graph6", Jsonx.Str g6) ] );
     ]
+
+let check_req ~id game g6 = check_req_field ~id "game" game g6
 
 let classes =
   [
@@ -162,6 +169,16 @@ let classes =
       name = "check-torus";
       well_formed = true;
       request = (fun ~id _ -> check_req ~id "max" torus3_g6);
+    };
+    {
+      name = "check-legacy";
+      well_formed = true;
+      request = (fun ~id _ -> check_req_field ~id "version" "max" torus3_g6);
+    };
+    {
+      name = "check-alpha";
+      well_formed = true;
+      request = (fun ~id i -> check_req ~id "alpha:1" (star9_centered (i mod 9)));
     };
     {
       name = "info-path";

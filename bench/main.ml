@@ -90,13 +90,13 @@ let pool4 = lazy (Pool.create ~jobs:4 ())
 let parallel_tests =
   [
     Test.make ~name:"par/tree-census-sum-n7-seq"
-      (stage (fun () -> Census.tree_census Usage_cost.Sum 7));
+      (stage (fun () -> Census.tree_census Game.Sum 7));
     Test.make ~name:"par/tree-census-sum-n7-j4"
-      (stage (fun () -> Census.tree_census ~pool:(Lazy.force pool4) Usage_cost.Sum 7));
+      (stage (fun () -> Census.tree_census ~pool:(Lazy.force pool4) Game.Sum 7));
     Test.make ~name:"par/graph-census-sum-n5-seq"
-      (stage (fun () -> Census.graph_census Usage_cost.Sum 5));
+      (stage (fun () -> Census.graph_census Game.Sum 5));
     Test.make ~name:"par/graph-census-sum-n5-j4"
-      (stage (fun () -> Census.graph_census ~pool:(Lazy.force pool4) Usage_cost.Sum 5));
+      (stage (fun () -> Census.graph_census ~pool:(Lazy.force pool4) Game.Sum 5));
     Test.make ~name:"par/all-pairs-torus-k8-seq"
       (stage (fun () -> Bfs.all_pairs torus8));
     Test.make ~name:"par/all-pairs-torus-k8-j4"
@@ -161,13 +161,13 @@ let swap_eval_tests =
 let experiment_tests =
   [
     Test.make ~name:"E1/tree-census-sum-n6"
-      (stage (fun () -> Census.tree_census Usage_cost.Sum 6));
+      (stage (fun () -> Census.tree_census Game.Sum 6));
     Test.make ~name:"E2/tree-census-max-n6"
-      (stage (fun () -> Census.tree_census Usage_cost.Max 6));
+      (stage (fun () -> Census.tree_census Game.Max 6));
     Test.make ~name:"E3/sum-eq-check-witness-n11"
       (stage (fun () -> Equilibrium.is_sum_equilibrium witness));
     Test.make ~name:"E4/graph-census-sum-n5"
-      (stage (fun () -> Census.graph_census Usage_cost.Sum 5));
+      (stage (fun () -> Census.graph_census Game.Sum 5));
     Test.make ~name:"E5/max-eq-check-torus-k3"
       (stage (fun () -> Equilibrium.is_max_equilibrium torus3));
     Test.make ~name:"E6/insertion-stability-torus-d3"
@@ -190,7 +190,7 @@ let experiment_tests =
     Test.make ~name:"E14/pairwise-modal-blobs"
       (stage (fun () -> Distance_uniform.pairwise_modal_fraction blobs));
     Test.make ~name:"E15/hunt-score-n10"
-      (stage (fun () -> Hunt.violating_agents Usage_cost.Sum gnm24));
+      (stage (fun () -> Hunt.violating_agents Game.Sum gnm24));
     Test.make ~name:"E16/2-swap-check-witness"
       (stage (fun () ->
            Equilibrium.is_stable_under_k_swaps Usage_cost.Sum witness ~k:2));
@@ -198,7 +198,7 @@ let experiment_tests =
       (stage (fun () ->
            let cfg =
              {
-               (Dynamics.default_config Usage_cost.Sum) with
+               (Dynamics.default_config Game.Sum) with
                Dynamics.rule = Dynamics.Random_improving;
              }
            in

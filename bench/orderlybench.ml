@@ -77,7 +77,7 @@ let level n =
   row (Printf.sprintf "census-orderly/classes-n%d" n) (float_of_int classes);
   (* the full census: generation + equilibrium verdict per class *)
   let census, wall_ns =
-    timed (fun () -> Census.orderly_census Usage_cost.Sum n)
+    timed (fun () -> Census.orderly_census Game.Sum n)
   in
   row (Printf.sprintf "census-orderly/wall-n%d" n) wall_ns;
   Printf.printf

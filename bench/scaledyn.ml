@@ -88,7 +88,7 @@ let family name gen =
   row (Printf.sprintf "dynamics-scale-%s/gen" name) gen_ns;
   let cfg =
     {
-      (Scale_dynamics.default_config Usage_cost.Sum) with
+      (Scale_dynamics.default_config Game.Sum) with
       Scale_dynamics.budget = !budget;
       probes_per_round = !probes;
       max_rounds = !rounds;

@@ -23,13 +23,13 @@ let graph_summary g =
   | None -> ());
   Printf.printf "graph6: %s\n" (Graph6.encode g)
 
-let version_conv =
-  let parse = function
-    | "sum" -> Ok Usage_cost.Sum
-    | "max" -> Ok Usage_cost.Max
-    | s -> Error (`Msg (Printf.sprintf "unknown version %S (expected sum or max)" s))
-  in
-  Arg.conv (parse, Usage_cost.pp_version)
+(* One parser for every --game flag: the same [Game.of_string] the RPC
+   wire protocol and the atlas key namespaces go through. *)
+let game_conv =
+  let parse s = Result.map_error (fun msg -> `Msg msg) (Game.of_string s) in
+  Arg.conv (parse, Game.pp)
+
+let game_doc = "Game: sum, max, or alpha:$(i,A) (e.g. alpha:1.5)."
 
 let graph6_arg =
   let doc = "The graph, as a graph6 string (as printed by $(b,bncg generate))." in
@@ -212,37 +212,35 @@ let info_cmd =
 
 (* --- check ---------------------------------------------------------------- *)
 
-let check version jobs stats stats_json g6 =
+let check game jobs stats stats_json g6 =
   match decode_graph g6 with
   | Error msg -> `Error (false, msg)
   | Ok g ->
     with_stats stats stats_json @@ fun () ->
     with_jobs jobs @@ fun pool ->
-    let verdict = Equilibrium.check ~pool version g in
-    Printf.printf "version: %s\n" (Usage_cost.version_name version);
+    let verdict = Equilibrium.check ~pool game g in
+    Printf.printf "version: %s\n" (Game.to_string game);
     Printf.printf "verdict: %s\n" (Format.asprintf "%a" Equilibrium.pp_verdict verdict);
     Printf.printf "diameter: %s\n" (opt_cell (Metrics.diameter g));
-    (match version with
-    | Usage_cost.Max ->
+    (match game with
+    | Game.Max ->
       Printf.printf "deletion-critical: %b\n" (Equilibrium.is_deletion_critical g);
       Printf.printf "insertion-stable: %b\n" (Equilibrium.is_insertion_stable g);
       (match Equilibrium.eccentricity_spread g with
       | Some s -> Printf.printf "eccentricity spread: %d\n" s
       | None -> ())
-    | Usage_cost.Sum -> ());
+    | Game.Sum | Game.Alpha _ -> ());
     `Ok ()
 
 let check_cmd =
-  let version =
-    Arg.(value & opt version_conv Usage_cost.Sum & info [ "game" ] ~doc:"Game version: sum or max.")
-  in
+  let game = Arg.(value & opt game_conv Game.Sum & info [ "game" ] ~doc:game_doc) in
   Cmd.v
-    (Cmd.info "check" ~doc:"Check whether a graph is a swap equilibrium")
-    Term.(ret (const check $ version $ jobs_arg $ stats_arg $ stats_json_arg $ graph6_arg))
+    (Cmd.info "check" ~doc:"Check whether a graph is an equilibrium of the chosen game")
+    Term.(ret (const check $ game $ jobs_arg $ stats_arg $ stats_json_arg $ graph6_arg))
 
 (* --- dynamics --------------------------------------------------------------- *)
 
-let dynamics_exact version n init seed max_rounds trace =
+let dynamics_exact game n init seed max_rounds trace =
   let rng = Prng.create seed in
   let g =
     match init with
@@ -252,14 +250,14 @@ let dynamics_exact version n init seed max_rounds trace =
     | `Cycle -> Generators.cycle n
   in
   let cfg =
-    { (Dynamics.default_config version) with Dynamics.max_rounds; record_trace = trace }
+    { (Dynamics.default_config game) with Dynamics.max_rounds; record_trace = trace }
   in
   let r = Dynamics.run ~rng cfg g in
   Printf.printf "outcome: %s\n" (Exp_common.outcome_name r.Dynamics.outcome);
   Printf.printf "rounds: %d, moves: %d\n" r.Dynamics.rounds r.Dynamics.moves;
   Printf.printf "final m: %d, diameter: %s\n" (Graph.m r.Dynamics.final)
     (opt_cell (Metrics.diameter r.Dynamics.final));
-  let verified = Equilibrium.is_equilibrium version r.Dynamics.final in
+  let verified = Equilibrium.is_equilibrium game r.Dynamics.final in
   Printf.printf "equilibrium verified: %b\n" verified;
   Printf.printf "final graph6: %s\n" (Graph6.encode r.Dynamics.final);
   if trace then begin
@@ -277,7 +275,7 @@ let dynamics_exact version n init seed max_rounds trace =
    the sampled best-response dynamics over the Flexcsr arena. All
    randomness (generator rows, run stream, trajectory sources) derives
    from --seed through Prng.substream, so runs are reproducible at any -j. *)
-let dynamics_scale version n gen seed max_rounds jobs budget probes patience
+let dynamics_scale game n gen seed max_rounds jobs budget probes patience
     exact_confirm window ba_m er_deg ws_k ws_beta traj_every traj_sources trace =
   with_jobs jobs @@ fun pool ->
   let t0 = Unix.gettimeofday () in
@@ -293,7 +291,7 @@ let dynamics_scale version n gen seed max_rounds jobs budget probes patience
     (Csr.n csr) (Csr.m csr) t_gen;
   let cfg =
     {
-      (Scale_dynamics.default_config version) with
+      (Scale_dynamics.default_config game) with
       Scale_dynamics.budget;
       probes_per_round = probes;
       max_rounds;
@@ -338,27 +336,32 @@ let dynamics_scale version n gen seed max_rounds jobs budget probes patience
   end;
   `Ok ()
 
-let dynamics engine version n init gen seed max_rounds jobs budget probes
+let dynamics engine game n init gen seed max_rounds jobs budget probes
     patience exact_confirm window ba_m er_deg ws_k ws_beta traj_every
     traj_sources trace stats stats_json =
   with_stats stats stats_json @@ fun () ->
   match engine with
   | `Exact ->
     let max_rounds = if max_rounds = 0 then 10_000 else max_rounds in
-    dynamics_exact version n init seed max_rounds trace
+    dynamics_exact game n init seed max_rounds trace
+  | `Scale when not (Game.is_basic game) ->
+    `Error
+      ( false,
+        Printf.sprintf
+          "--engine scale supports only the basic games (sum, max); got %s \
+           (use --engine exact)"
+          (Game.to_string game) )
   | `Scale ->
     (* one round = --probes sampled probes; at n = 10^6 a round of 32
        probes is ~2 minutes on one core, so the default keeps the bare
        command under an hour *)
     let max_rounds = if max_rounds = 0 then 24 else max_rounds in
-    dynamics_scale version n gen seed max_rounds jobs budget probes patience
+    dynamics_scale game n gen seed max_rounds jobs budget probes patience
       exact_confirm window ba_m er_deg ws_k ws_beta traj_every traj_sources
       trace
 
 let dynamics_cmd =
-  let version =
-    Arg.(value & opt version_conv Usage_cost.Sum & info [ "game" ] ~doc:"sum or max.")
-  in
+  let game = Arg.(value & opt game_conv Game.Sum & info [ "game" ] ~doc:game_doc) in
   let engine =
     Arg.(
       value
@@ -453,7 +456,7 @@ let dynamics_cmd =
     (Cmd.info "dynamics" ~doc:"Run best-response swap dynamics to equilibrium")
     Term.(
       ret
-        (const dynamics $ engine $ version $ n $ init $ gen $ seed $ rounds
+        (const dynamics $ engine $ game $ n $ init $ gen $ seed $ rounds
        $ jobs_arg $ budget $ probes $ patience $ exact_confirm $ window $ ba_m
        $ er_deg $ ws_k $ ws_beta $ traj_every $ traj_sources $ trace
        $ stats_arg $ stats_json_arg))
@@ -483,11 +486,17 @@ let print_graph_census (c : Census.graph_census) =
     (fun g -> Printf.printf "  representative: %s\n" (Graph6.encode g))
     c.Census.equilibria_iso
 
-let census version n trees strategy jobs workers parts retries timeout journal
+let census game n trees strategy jobs workers parts retries timeout journal
     atlas_dir stats stats_json =
   with_stats stats stats_json @@ fun () ->
   if trees && strategy = `Orderly then
     invalid_arg "--strategy orderly applies to the graph census, not --trees";
+  if strategy = `Orderly && (not trees) && not (Game.is_basic game) then
+    invalid_arg
+      (Printf.sprintf
+         "--strategy orderly requires an isomorphism-invariant game (sum or \
+          max); %s verdicts depend on the labeling through edge ownership"
+         (Game.to_string game));
   let atlas =
     match atlas_dir with
     | None -> None
@@ -511,7 +520,7 @@ let census version n trees strategy jobs workers parts retries timeout journal
   if workers = [] then
     with_jobs jobs @@ fun pool ->
     if trees then begin
-      print_tree_census (Census.tree_census ~pool version n);
+      print_tree_census (Census.tree_census ~pool game n);
       `Ok ()
     end
     else begin
@@ -520,8 +529,8 @@ let census version n trees strategy jobs workers parts retries timeout journal
          both can run (CI diffs them) *)
       print_graph_census
         (match strategy with
-        | `Orderly -> Census.orderly_census ?atlas ~pool version n
-        | `Rank -> Census.graph_census ?atlas ~pool version n);
+        | `Orderly -> Census.orderly_census ?atlas ~pool game n
+        | `Rank -> Census.graph_census ?atlas ~pool game n);
       `Ok ()
     end
   else begin
@@ -547,7 +556,7 @@ let census version n trees strategy jobs workers parts retries timeout journal
         atlas;
       }
     in
-    match Dispatch.run cfg (Census.full_shard kind version n) with
+    match Dispatch.run cfg (Census.full_shard kind game n) with
     | Error msg -> `Error (false, msg)
     | Ok (result, st) ->
       (match result with
@@ -582,9 +591,7 @@ let worker_conv =
   Arg.conv (parse, pp)
 
 let census_cmd =
-  let version =
-    Arg.(value & opt version_conv Usage_cost.Sum & info [ "game" ] ~doc:"sum or max.")
-  in
+  let game = Arg.(value & opt game_conv Game.Sum & info [ "game" ] ~doc:game_doc) in
   let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Vertex count (graphs <= 8, trees <= 10).") in
   let trees = Arg.(value & flag & info [ "trees" ] ~doc:"Census over trees instead of all connected graphs.") in
   let strategy =
@@ -648,10 +655,10 @@ let census_cmd =
     in
     Arg.(value & opt (some string) None & info [ "atlas" ] ~docv:"DIR" ~doc)
   in
-  let run version n trees strategy jobs workers parts retries timeout journal
+  let run game n trees strategy jobs workers parts retries timeout journal
       atlas stats stats_json =
     try
-      census version n trees strategy jobs workers parts retries timeout journal
+      census game n trees strategy jobs workers parts retries timeout journal
         atlas stats stats_json
     with Invalid_argument msg -> `Error (false, msg)
   in
@@ -659,7 +666,7 @@ let census_cmd =
     (Cmd.info "census" ~doc:"Exhaustively classify equilibria on small vertex counts")
     Term.(
       ret
-        (const run $ version $ n $ trees $ strategy $ jobs_arg $ workers $ parts
+        (const run $ game $ n $ trees $ strategy $ jobs_arg $ workers $ parts
         $ retries $ timeout $ journal $ atlas $ stats_arg $ stats_json_arg))
 
 (* --- experiment -------------------------------------------------------------- *)
@@ -717,12 +724,12 @@ let experiment_cmd =
 let hunt n target_diameter steps seed game stats stats_json =
   with_stats stats stats_json @@ fun () ->
   let rng = Prng.create seed in
-  let cfg = { (Hunt.default_config ~version:game ~n ~target_diameter ()) with Hunt.steps } in
+  let cfg = { (Hunt.default_config ~game ~n ~target_diameter ()) with Hunt.steps } in
   let r = Hunt.run rng cfg in
   (match r.Hunt.found with
   | Some g ->
     Printf.printf "found a %s equilibrium with diameter >= %d on %d vertices:\n"
-      (Usage_cost.version_name game) target_diameter n;
+      (Game.to_string game) target_diameter n;
     Printf.printf "graph6: %s\n" (Graph6.encode g);
     graph_summary g
   | None ->
@@ -736,9 +743,7 @@ let hunt_cmd =
   let target = Arg.(value & opt int 3 & info [ "diameter" ] ~doc:"Required minimum diameter.") in
   let steps = Arg.(value & opt int 4000 & info [ "steps" ] ~doc:"Annealing steps per restart.") in
   let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let game =
-    Arg.(value & opt version_conv Usage_cost.Sum & info [ "game" ] ~doc:"sum or max.")
-  in
+  let game = Arg.(value & opt game_conv Game.Sum & info [ "game" ] ~doc:game_doc) in
   Cmd.v
     (Cmd.info "hunt" ~doc:"Search for high-diameter equilibria by simulated annealing")
     Term.(
@@ -896,9 +901,7 @@ let call addr timeout meth game g6 kind n lo hi raw =
           List.filter_map
             (fun x -> x)
             [
-              Option.map (fun v ->
-                  ("game", Jsonx.Str (Usage_cost.version_name v)))
-                game;
+              Option.map (fun v -> ("game", Jsonx.Str (Game.to_string v))) game;
               Option.map (fun s -> ("graph6", Jsonx.Str s)) g6;
               Option.map (fun s -> ("kind", Jsonx.Str s)) kind;
               Option.map (fun i -> ("n", Jsonx.Int i)) n;
@@ -943,7 +946,7 @@ let call_cmd =
       & info [] ~docv:"METHOD" ~doc:"ping, stats, info, check, or census-shard.")
   in
   let game =
-    Arg.(value & opt (some version_conv) None & info [ "game" ] ~doc:"sum or max.")
+    Arg.(value & opt (some game_conv) None & info [ "game" ] ~doc:game_doc)
   in
   let g6 =
     Arg.(value & opt (some string) None & info [ "graph6" ] ~docv:"GRAPH6" ~doc:"Graph for info/check.")

@@ -14,7 +14,7 @@ let () =
   let g0 = Random_graphs.connected_gnm rng 14 22 in
   pf "one traced run: sum version, n=14, m=22, round-robin best response\n\n";
   let cfg =
-    { (Dynamics.default_config Usage_cost.Sum) with Dynamics.record_trace = true }
+    { (Dynamics.default_config Game.Sum) with Dynamics.record_trace = true }
   in
   let r = Dynamics.run ~rng cfg g0 in
   pf "  %-5s %-22s %7s %8s %9s\n" "step" "move" "delta" "social" "diameter";
@@ -69,7 +69,7 @@ let () =
           in
           Table.add_row t
             [
-              Usage_cost.version_name version;
+              Game.to_string version;
               Table.cell_int n;
               Table.cell_int (2 * n);
               Printf.sprintf "%d/%d" (List.length conv) (List.length runs);
@@ -78,7 +78,7 @@ let () =
               Exp_common.minmax_cell diams;
             ])
         [ 12; 24; 48; 96 ])
-    [ Usage_cost.Sum; Usage_cost.Max ];
+    [ Game.Sum; Game.Max ];
   Table.print t;
   pf "Theorem 9 context: the sum bound 2^(3 sqrt lg n) at n=96 is %.0f —\n"
     (Theory.theorem9_bound 96);

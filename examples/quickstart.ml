@@ -39,7 +39,8 @@ let () =
     pf "the path is not a sum equilibrium: %s improves by %d\n"
       (Swap.move_to_string w) d
   | Equilibrium.Equilibrium -> pf "unexpectedly stable\n"
-  | Equilibrium.Disconnected -> pf "disconnected\n");
+  | Equilibrium.Disconnected -> pf "disconnected\n"
+  | Equilibrium.Alpha_violation _ -> assert false (* basic games only *));
 
   (* 5. Best-response dynamics: agents swap until no one can improve. *)
   let result = Dynamics.converge_sum g in

@@ -33,7 +33,7 @@ let e21_bounded_agents ?(n = 24) ?(seeds = 5) () =
             let g = Random_graphs.connected_gnm rng n (2 * n) in
             let cfg =
               {
-                (Dynamics.default_config Usage_cost.Sum) with
+                (Dynamics.default_config Game.Sum) with
                 Dynamics.rule;
                 max_rounds = 200;
               }
@@ -45,7 +45,7 @@ let e21_bounded_agents ?(n = 24) ?(seeds = 5) () =
       let residuals =
         Array.of_list
           (List.map
-             (fun r -> Hunt.violating_agents Usage_cost.Sum r.Dynamics.final)
+             (fun r -> Hunt.violating_agents Game.Sum r.Dynamics.final)
              runs)
       in
       let rounds = Array.of_list (List.map (fun r -> r.Dynamics.rounds) conv) in

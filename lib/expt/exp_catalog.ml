@@ -1,11 +1,11 @@
-let e22_equilibrium_catalog ?(n = 5) ?(version = Usage_cost.Sum) () =
-  let census = Census.graph_census ~pool:(Exp_common.pool ()) version n in
+let e22_equilibrium_catalog ?(n = 5) ?(game = Game.Sum) () =
+  let census = Census.graph_census ~pool:(Exp_common.pool ()) game n in
   let t =
     Table.create
       ~title:
         (Printf.sprintf
            "E22: catalog of all %s-equilibrium classes on %d vertices (%d of %d connected graphs, %d classes)"
-           (Usage_cost.version_name version)
+           (Game.to_string game)
            n census.Census.equilibria_labeled census.Census.connected
            (List.length census.Census.equilibria_iso))
       ~columns:

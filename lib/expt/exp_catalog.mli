@@ -1,6 +1,6 @@
 (** E22 — the equilibrium catalog. *)
 
-val e22_equilibrium_catalog : ?n:int -> ?version:Usage_cost.version -> unit -> unit
+val e22_equilibrium_catalog : ?n:int -> ?game:Game.t -> unit -> unit
 (** A data-release table: every equilibrium class on [n] vertices (default
     5, exhaustive), with its graph6 certificate, size, girth, automorphism
     count, clustering and Fiedler value — the complete structural anatomy

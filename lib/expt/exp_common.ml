@@ -40,6 +40,8 @@ let verdict_cell = function
   | Equilibrium.Disconnected -> "no (disconnected)"
   | Equilibrium.Violation (mv, d) ->
     Printf.sprintf "no (%s, delta %d)" (Swap.move_to_string mv) d
+  | Equilibrium.Alpha_violation (mv, d) ->
+    Printf.sprintf "no (%s, delta %g)" (Alpha_game.move_to_string mv) d
 
 let sum_verdict g = verdict_cell (Equilibrium.check_sum g)
 

@@ -18,8 +18,9 @@ let collect version sizes seed_count init =
             let g = init rng n in
             let r =
               match version with
-              | Usage_cost.Sum -> Dynamics.converge_sum ~rng g
-              | Usage_cost.Max -> Dynamics.converge_max ~rng g
+              | Game.Sum -> Dynamics.converge_sum ~rng g
+              | Game.Max | Game.Alpha _ ->
+                Dynamics.run ~rng (Dynamics.default_config version) g
             in
             r)
           (Exp_common.seeds seed_count)
@@ -94,7 +95,7 @@ let e7_sum_dynamics ?(sizes = [ 16; 32; 64; 96 ]) ?(seeds = 5) () =
               Table.cell_float ~digits:0 (Theory.theorem9_bound n);
               Table.cell_int (Theory.theorem9_recurrence_bound n);
             ])
-        (collect Usage_cost.Sum sizes seeds init))
+        (collect Game.Sum sizes seeds init))
     [ ("random tree", init_tree); ("G(n, 2n)", init_sparse) ];
   Table.print t
 
@@ -131,6 +132,6 @@ let e8_max_dynamics ?(sizes = [ 16; 32; 64 ]) ?(seeds = 5) () =
               Printf.sprintf "%d/%d" s.spread_ok s.converged;
               Printf.sprintf "%d/%d" s.lemma3_ok s.converged;
             ])
-        (collect Usage_cost.Max sizes seeds init))
+        (collect Game.Max sizes seeds init))
     [ ("random tree", init_tree); ("G(n, 2n)", init_sparse) ];
   Table.print t

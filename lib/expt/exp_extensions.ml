@@ -207,7 +207,7 @@ let e17_dynamics_ablation ?(n = 32) ?(seeds = 5) () =
                 let rng = Prng.create seed in
                 let g = Random_graphs.connected_gnm rng n (2 * n) in
                 let cfg =
-                  { (Dynamics.default_config Usage_cost.Sum) with Dynamics.rule; schedule }
+                  { (Dynamics.default_config Game.Sum) with Dynamics.rule; schedule }
                 in
                 Dynamics.run ~rng cfg g)
               (Array.to_list (Exp_common.seeds seeds))

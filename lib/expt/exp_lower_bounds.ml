@@ -45,7 +45,7 @@ let e3_theorem5 () =
     \  minimal witness are verified diameter-3 sum equilibria (independent brute-force\n\
     \  checks in the test suite); by the exhaustive census, n = 8 is the minimum.\n"
 
-let e4_graph_census ?(max_n = 6) ?(versions = [ Usage_cost.Sum; Usage_cost.Max ]) () =
+let e4_graph_census ?(max_n = 6) ?(games = [ Game.Sum; Game.Max ]) () =
   let t =
     Table.create
       ~title:"E4: exhaustive equilibrium census over all connected graphs"
@@ -61,12 +61,12 @@ let e4_graph_census ?(max_n = 6) ?(versions = [ Usage_cost.Sum; Usage_cost.Max ]
         ]
   in
   List.iter
-    (fun version ->
+    (fun game ->
       for n = 3 to max_n do
-        let c = Census.graph_census ~pool:(Exp_common.pool ()) version n in
+        let c = Census.graph_census ~pool:(Exp_common.pool ()) game n in
         Table.add_row t
           [
-            Usage_cost.version_name version;
+            Game.to_string game;
             Table.cell_int n;
             Table.cell_int c.Census.connected;
             Table.cell_int c.Census.equilibria_labeled;
@@ -78,5 +78,5 @@ let e4_graph_census ?(max_n = 6) ?(versions = [ Usage_cost.Sum; Usage_cost.Max ]
             Table.cell_int c.Census.max_diameter;
           ]
       done)
-    versions;
+    games;
   Table.print t

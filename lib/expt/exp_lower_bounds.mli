@@ -7,7 +7,7 @@ val e3_theorem5 : unit -> unit
     admits an improving swap, and the verified diameter-3 witnesses
     (Petersen, Petersen + pendant) plus the polarity-graph family. *)
 
-val e4_graph_census : ?max_n:int -> ?versions:Usage_cost.version list -> unit -> unit
+val e4_graph_census : ?max_n:int -> ?games:Game.t list -> unit -> unit
 (** Exhaustive classification of all connected graphs per n (default up
     to 6; n = 7 takes ~40 s for sum): equilibrium counts up to
     isomorphism and the diameter histogram. Shows the diameter-3 lower

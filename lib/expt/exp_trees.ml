@@ -13,7 +13,7 @@ let e1_sum_tree_census ?(max_n = 8) () =
         ]
   in
   for n = 3 to max_n do
-    let c = Census.tree_census ~pool:(Exp_common.pool ()) Usage_cost.Sum n in
+    let c = Census.tree_census ~pool:(Exp_common.pool ()) Game.Sum n in
     Table.add_row t
       [
         Table.cell_int n;
@@ -103,7 +103,7 @@ let e2_max_tree_census ?(max_n = 8) () =
         ]
   in
   for n = 3 to max_n do
-    let c = Census.tree_census ~pool:(Exp_common.pool ()) Usage_cost.Max n in
+    let c = Census.tree_census ~pool:(Exp_common.pool ()) Game.Max n in
     Table.add_row t
       [
         Table.cell_int n;

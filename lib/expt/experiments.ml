@@ -55,7 +55,7 @@ let all =
       title = "Sum census extended to n = 7 (1.87M connected graphs)";
       run =
         (fun () ->
-          Exp_lower_bounds.e4_graph_census ~max_n:7 ~versions:[ Usage_cost.Sum ] ());
+          Exp_lower_bounds.e4_graph_census ~max_n:7 ~games:[ Game.Sum ] ());
       heavy = true;
     };
     {
@@ -183,15 +183,15 @@ let all =
       title = "Catalog of all small equilibrium classes with certificates";
       run =
         (fun () ->
-          Exp_catalog.e22_equilibrium_catalog ~n:5 ~version:Usage_cost.Sum ();
-          Exp_catalog.e22_equilibrium_catalog ~n:6 ~version:Usage_cost.Max ());
+          Exp_catalog.e22_equilibrium_catalog ~n:5 ~game:Game.Sum ();
+          Exp_catalog.e22_equilibrium_catalog ~n:6 ~game:Game.Max ());
       heavy = false;
     };
     {
       id = "E22X";
       paper_item = "data release";
       title = "Sum catalog at n = 6 (60 classes)";
-      run = (fun () -> Exp_catalog.e22_equilibrium_catalog ~n:6 ~version:Usage_cost.Sum ());
+      run = (fun () -> Exp_catalog.e22_equilibrium_catalog ~n:6 ~game:Game.Sum ());
       heavy = true;
     };
   ]

@@ -16,6 +16,8 @@ let pp_move ppf = function
   | Swap_owned { actor; drop; add } ->
     Format.fprintf ppf "%d: swap %d-%d -> %d-%d" actor actor drop actor add
 
+let move_to_string mv = Format.asprintf "%a" pp_move mv
+
 let key u v = (min u v, max u v)
 
 let create ~alpha ?owner g0 =
@@ -23,10 +25,15 @@ let create ~alpha ?owner g0 =
   let g = Graph.copy g0 in
   let owners = Hashtbl.create (2 * Graph.m g) in
   let assign = match owner with Some f -> f | None -> fun u _ -> u in
+  (* validate the whole assignment up front: a bad owner must fail here,
+     in [create], not later when the edge is first touched by a move *)
   Graph.iter_edges
     (fun u v ->
       let o = assign u v in
-      if o <> u && o <> v then invalid_arg "Alpha_game.create: owner not an endpoint";
+      if o <> u && o <> v then
+        invalid_arg
+          (Printf.sprintf
+             "Alpha_game.create: owner %d of edge %d-%d is not an endpoint" o u v);
       Hashtbl.replace owners (key u v) o)
     g;
   { alpha; g; owners; ws = Bfs.create_workspace (Graph.n g) }
@@ -139,6 +146,34 @@ let best_move t v =
 let is_local_equilibrium t =
   let rec loop v = v >= Graph.n t.g || (best_move t v = None && loop (v + 1)) in
   loop 0
+
+exception Improving of move * float
+
+(* First improving move of one agent, in [iter_moves] enumeration order
+   (buys ascending, then per neighbor sell + owned-swaps ascending) — the
+   deterministic witness [Equilibrium.check] reports, mirroring the
+   lowest-agent / first-move convention of the basic games. *)
+let first_improving_move t v =
+  try
+    iter_moves t v (fun mv ->
+        let d = delta t mv in
+        if d < -1e-9 then raise (Improving (mv, d)));
+    None
+  with Improving (mv, d) -> Some (mv, d)
+
+let find_violation t =
+  let nv = Graph.n t.g in
+  let rec scan v =
+    if v >= nv then None
+    else
+      match first_improving_move t v with Some _ as w -> w | None -> scan (v + 1)
+  in
+  scan 0
+
+let best_response_exists t = find_violation t <> None
+
+let actor = function
+  | Buy { actor; _ } | Sell { actor; _ } | Swap_owned { actor; _ } -> actor
 
 type outcome = Converged | Cycled | Round_limit
 

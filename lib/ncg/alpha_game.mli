@@ -19,10 +19,15 @@ type move =
 
 val pp_move : Format.formatter -> move -> unit
 
+val move_to_string : move -> string
+
 val create : alpha:float -> ?owner:(int -> int -> int) -> Graph.t -> t
 (** Copies the graph. [owner u v] (called with [u < v]) assigns initial
     edge ownership and must return one endpoint; default: the smaller
-    endpoint. @raise Invalid_argument on α < 0 or a bad owner function. *)
+    endpoint. The assignment is validated eagerly over every edge, so a
+    bad owner fails here — naming the offending edge — rather than when
+    the edge is first touched by a move.
+    @raise Invalid_argument on α < 0 or an owner that is not an endpoint. *)
 
 val alpha : t -> float
 
@@ -59,6 +64,21 @@ val best_move : t -> int -> (move * float) option
 
 val is_local_equilibrium : t -> bool
 (** No agent has an improving buy / sell / owned-swap. *)
+
+val first_improving_move : t -> int -> (move * float) option
+(** First strictly improving move of the agent in enumeration order
+    (buys ascending, then per owned neighbor a sell followed by
+    owned-swaps ascending); the deterministic witness convention. *)
+
+val find_violation : t -> (move * float) option
+(** Lowest agent's {!first_improving_move}; [None] iff
+    {!is_local_equilibrium}. *)
+
+val best_response_exists : t -> bool
+(** Some agent has a strictly improving local move — the witness-level
+    query {!Equilibrium.check} dispatches to for [Alpha] games. *)
+
+val actor : move -> int
 
 type outcome = Converged | Cycled | Round_limit
 

@@ -53,11 +53,11 @@ let merge_tally a b =
     t_witnesses = a.t_witnesses + b.t_witnesses;
   }
 
-let classify_tree version tally g =
+let classify_tree game tally g =
   let record_eq g =
     (* the shape classification is cheap; cross-validate every accepted
        tree against the generic checker so the census is fully verified *)
-    assert (Equilibrium.is_equilibrium version g);
+    assert (Equilibrium.is_equilibrium game g);
     tally.t_equilibria <- tally.t_equilibria + 1;
     if Tree_eq.is_star g then tally.t_stars <- tally.t_stars + 1;
     if Tree_eq.is_double_star g then
@@ -68,8 +68,8 @@ let classify_tree version tally g =
   in
   tally.t_total <- tally.t_total + 1;
   Telemetry.incr m_trees;
-  match version with
-  | Usage_cost.Sum ->
+  match game with
+  | Game.Sum ->
     if Tree_eq.is_star g then record_eq g
     else begin
       (* Theorem 1 witness: verified-improving swap on every non-star *)
@@ -79,7 +79,7 @@ let classify_tree version tally g =
         (* diameter <= 2 tree that is not a star: impossible *)
         assert false
     end
-  | Usage_cost.Max ->
+  | Game.Max ->
     if Tree_eq.max_eq_tree g then record_eq g
     else begin
       match Tree_eq.theorem4_witness g with
@@ -90,6 +90,12 @@ let classify_tree version tally g =
         assert (not (Equilibrium.is_max_equilibrium g));
         tally.t_witnesses <- tally.t_witnesses + 1
     end
+  | Game.Alpha _ ->
+    (* no closed-form shape theorem for the α-game: the generic checker
+       is both the classifier and, on non-equilibria, the witness (it
+       exhibits the improving Buy/Sell/Swap_owned move) *)
+    if Equilibrium.is_equilibrium game g then record_eq g
+    else tally.t_witnesses <- tally.t_witnesses + 1
 
 let census_of_tally n t =
   {
@@ -102,7 +108,7 @@ let census_of_tally n t =
     witnesses_verified = t.t_witnesses;
   }
 
-let tree_census ?pool version n =
+let tree_census ?pool game n =
   let tally =
     match pool with
     | Some pool when Pool.jobs pool > 1 ->
@@ -112,14 +118,14 @@ let tree_census ?pool version n =
         ~fold:(fun ~lo ~hi ->
           let t0 = Telemetry.start () in
           let tally = fresh_tally () in
-          Enumerate.trees_in n ~lo ~hi (classify_tree version tally);
+          Enumerate.trees_in n ~lo ~hi (classify_tree game tally);
           Telemetry.stop m_shard t0;
           tally)
         ~reduce:merge_tally ~zero:(fresh_tally ())
     | _ ->
       let t0 = Telemetry.start () in
       let tally = fresh_tally () in
-      Enumerate.trees n (classify_tree version tally);
+      Enumerate.trees n (classify_tree game tally);
       Telemetry.stop m_shard t0;
       tally
   in
@@ -161,25 +167,24 @@ let empty_shard = { s_connected = 0; s_labeled = 0; s_reps = [] }
 (* Atlas key for one labeled graph's equilibrium verdict. The verdict is
    per labeled graph (graph6), not per isomorphism class, so a probe can
    never change which representative a shard reports first. *)
-let atlas_key version g =
-  "eq:" ^ Usage_cost.version_name version ^ ":" ^ Graph6.encode g
+let atlas_key game g = "eq:" ^ Game.to_string game ^ ":" ^ Graph6.encode g
 
 (* Consult-then-populate: a hit short-circuits the equilibrium scan, a
    miss computes and appends. Identical verdicts either way, so census
    outputs are byte-identical with the atlas on or off. *)
-let is_equilibrium_via ?atlas version g =
+let is_equilibrium_via ?atlas game g =
   match atlas with
-  | None -> Equilibrium.is_equilibrium version g
+  | None -> Equilibrium.is_equilibrium game g
   | Some a -> (
-      let key = atlas_key version g in
+      let key = atlas_key game g in
       match Atlas.find a key with
       | Some v -> v = "1"
       | None ->
-          let r = Equilibrium.is_equilibrium version g in
+          let r = Equilibrium.is_equilibrium game g in
           Atlas.add a ~key ~value:(if r then "1" else "0");
           r)
 
-let graph_shard_of_range ?atlas version n ~lo ~hi =
+let graph_shard_of_range ?atlas game n ~lo ~hi =
   let connected = ref 0 in
   let labeled = ref 0 in
   let seen = Hashtbl.create 64 in
@@ -187,7 +192,7 @@ let graph_shard_of_range ?atlas version n ~lo ~hi =
   let t0 = Telemetry.start () in
   Enumerate.connected_graphs_in n ~lo ~hi (fun g ->
       incr connected;
-      if is_equilibrium_via ?atlas version g then begin
+      if is_equilibrium_via ?atlas game g then begin
         incr labeled;
         let key = Canon.canonical_form g in
         if Hashtbl.mem seen key then Telemetry.incr m_canon_hits
@@ -232,7 +237,7 @@ let census_of_graph_shard n shard =
     max_diameter = List.fold_left max 0 diams;
   }
 
-let graph_census ?atlas ?pool version n =
+let graph_census ?atlas ?pool game n =
   let total = Enumerate.graph_mask_count n in
   let shard =
     match pool with
@@ -240,9 +245,9 @@ let graph_census ?atlas ?pool version n =
       (* the atlas handle is domain-safe: the index is sharded under
          mutexes and appends funnel through its single appender *)
       Pool.fold_chunks pool ~n:total
-        ~fold:(fun ~lo ~hi -> graph_shard_of_range ?atlas version n ~lo ~hi)
+        ~fold:(fun ~lo ~hi -> graph_shard_of_range ?atlas game n ~lo ~hi)
         ~reduce:merge_shard ~zero:empty_shard
-    | _ -> graph_shard_of_range ?atlas version n ~lo:0 ~hi:total
+    | _ -> graph_shard_of_range ?atlas game n ~lo:0 ~hi:total
   in
   census_of_graph_shard n shard
 
@@ -281,7 +286,17 @@ let merge_graph_census a b =
 
 let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
 
-let orderly_census_in ?atlas version n ~lo ~hi =
+let orderly_census_in ?atlas game n ~lo ~hi =
+  (* orbit-stabilizer counting scales one verdict per class by n!/|Aut|,
+     which is sound only when the verdict is isomorphism-invariant. The
+     α-game's is not: edge ownership (default: the smaller endpoint) is
+     labeling-dependent, so two copies of one class can disagree. *)
+  if not (Game.is_basic game) then
+    invalid_arg
+      (Printf.sprintf
+         "Census.orderly_census: game %s is not isomorphism-invariant; use \
+          the rank-range census"
+         (Game.to_string game));
   let connected = ref 0 in
   let labeled = ref 0 in
   let reps = ref [] in
@@ -290,7 +305,7 @@ let orderly_census_in ?atlas version n ~lo ~hi =
   Orderly.iter ~lo ~hi n (fun g cert ->
       let copies = copies_of_class / cert.Canon.aut_count in
       connected := !connected + copies;
-      if is_equilibrium_via ?atlas version g then begin
+      if is_equilibrium_via ?atlas game g then begin
         labeled := !labeled + copies;
         let rep = Orderly.representative g cert in
         reps := (Orderly.mask_of_graph rep, rep) :: !reps
@@ -326,15 +341,15 @@ let merge_orderly_census a b =
       s_reps = List.map (fun g -> ("", g)) iso;
     }
 
-let orderly_census ?atlas ?pool version n =
+let orderly_census ?atlas ?pool game n =
   let total = Orderly.space n in
   match pool with
   | Some pool when Pool.jobs pool > 1 ->
     Pool.fold_chunks pool ~n:total
-      ~fold:(fun ~lo ~hi -> orderly_census_in ?atlas version n ~lo ~hi)
+      ~fold:(fun ~lo ~hi -> orderly_census_in ?atlas game n ~lo ~hi)
       ~reduce:merge_orderly_census
-      ~zero:(orderly_census_in version n ~lo:0 ~hi:0)
-  | _ -> orderly_census_in ?atlas version n ~lo:0 ~hi:total
+      ~zero:(orderly_census_in game n ~lo:0 ~hi:0)
+  | _ -> orderly_census_in ?atlas game n ~lo:0 ~hi:total
 
 (* --- unified shard API ---------------------------------------------------- *)
 
@@ -342,7 +357,7 @@ type kind = Trees | Graphs | Orderly
 
 type shard = {
   kind : kind;
-  version : Usage_cost.version;
+  game : Game.t;
   n : int;
   lo : int;
   hi : int;
@@ -377,7 +392,13 @@ let shard_space kind n =
 
 let validate_shard s =
   let max_n = max_shard_vertices s.kind in
-  if s.n < 1 || s.n > max_n then
+  if s.kind = Orderly && not (Game.is_basic s.game) then
+    Error
+      (Printf.sprintf
+         "orderly census requires an isomorphism-invariant game (sum or \
+          max), got %s"
+         (Game.to_string s.game))
+  else if s.n < 1 || s.n > max_n then
     Error
       (Printf.sprintf "census n must be in [1, %d] for kind %s, got %d" max_n
          (kind_name s.kind) s.n)
@@ -389,12 +410,12 @@ let validate_shard s =
     else Ok ()
   end
 
-let full_shard kind version n =
+let full_shard kind game n =
   if n < 1 || n > max_shard_vertices kind then
     invalid_arg
       (Printf.sprintf "Census.full_shard: n must be in [1, %d] for kind %s"
          (max_shard_vertices kind) (kind_name kind));
-  { kind; version; n; lo = 0; hi = shard_space kind n }
+  { kind; game; n; lo = 0; hi = shard_space kind n }
 
 let run_shard ?atlas s =
   (match validate_shard s with
@@ -406,15 +427,15 @@ let run_shard ?atlas s =
        witnesses are cheaper than an index probe per tree *)
     let t0 = Telemetry.start () in
     let tally = fresh_tally () in
-    Enumerate.trees_in s.n ~lo:s.lo ~hi:s.hi (classify_tree s.version tally);
+    Enumerate.trees_in s.n ~lo:s.lo ~hi:s.hi (classify_tree s.game tally);
     Telemetry.stop m_shard t0;
     Tree_result (census_of_tally s.n tally)
   | Graphs ->
     Graph_result
       (census_of_graph_shard s.n
-         (graph_shard_of_range ?atlas s.version s.n ~lo:s.lo ~hi:s.hi))
+         (graph_shard_of_range ?atlas s.game s.n ~lo:s.lo ~hi:s.hi))
   | Orderly ->
-    Orderly_result (orderly_census_in ?atlas s.version s.n ~lo:s.lo ~hi:s.hi)
+    Orderly_result (orderly_census_in ?atlas s.game s.n ~lo:s.lo ~hi:s.hi)
 
 let split s ~parts =
   if parts < 1 then invalid_arg "Census.split: parts must be >= 1";
@@ -434,12 +455,12 @@ let merge_result a b =
     Orderly_result (merge_orderly_census a b)
   | _ -> invalid_arg "Census.merge_result: mixed census kinds"
 
-let tree_census_in version n ~lo ~hi =
-  match run_shard { kind = Trees; version; n; lo; hi } with
+let tree_census_in game n ~lo ~hi =
+  match run_shard { kind = Trees; game; n; lo; hi } with
   | Tree_result c -> c
   | Graph_result _ | Orderly_result _ -> assert false
 
-let graph_census_in ?atlas version n ~lo ~hi =
-  match run_shard ?atlas { kind = Graphs; version; n; lo; hi } with
+let graph_census_in ?atlas game n ~lo ~hi =
+  match run_shard ?atlas { kind = Graphs; game; n; lo; hi } with
   | Graph_result c -> c
   | Tree_result _ | Orderly_result _ -> assert false

@@ -18,7 +18,7 @@ type tree_census = {
           strictly improve *)
 }
 
-val tree_census : ?pool:Pool.t -> Usage_cost.version -> int -> tree_census
+val tree_census : ?pool:Pool.t -> Game.t -> int -> tree_census
 (** Exhaustive over all labeled trees on [n] vertices
     (n <= {!Enumerate.max_tree_vertices}). For the sum version every
     non-star receives the Theorem 1 witness; for max, trees of diameter
@@ -41,7 +41,7 @@ val merge_tree_census : tree_census -> tree_census -> tree_census
 (** Counts add, [max_eq_diameter] maxes. Requires equal [n]. *)
 
 val graph_census :
-  ?atlas:Atlas.t -> ?pool:Pool.t -> Usage_cost.version -> int -> graph_census
+  ?atlas:Atlas.t -> ?pool:Pool.t -> Game.t -> int -> graph_census
 (** Exhaustive over all connected labeled graphs on [n] vertices
     (n <= {!Enumerate.max_graph_vertices}; n = 7 takes minutes
     sequentially). With [?pool] the edge-subset mask space is sharded
@@ -59,7 +59,7 @@ val merge_graph_census : graph_census -> graph_census -> graph_census
     shards in order reproduces the full census. Requires equal [n]. *)
 
 val orderly_census :
-  ?atlas:Atlas.t -> ?pool:Pool.t -> Usage_cost.version -> int -> graph_census
+  ?atlas:Atlas.t -> ?pool:Pool.t -> Game.t -> int -> graph_census
 (** The graph census via orderly (canonical-construction-path)
     enumeration: one {!Orderly.iter} visit per isomorphism class, labeled
     counts recovered by orbit-stabilizer ([n!/|Aut|] copies per class)
@@ -67,6 +67,10 @@ val orderly_census :
     ascending mask order — byte-identical to {!graph_census} wherever
     both can run, but reaching [n <=] {!Orderly.max_vertices} (11)
     because the walk is over classes, not the [2^(n(n-1)/2)] mask space.
+    Only the basic (isomorphism-invariant) games are supported: the
+    α-game's verdict depends on the labeling through edge ownership, so
+    orbit-stabilizer counting would be unsound — [Alpha _] raises (or,
+    through {!validate_shard}, returns an [Error]).
     [?pool] shards the orderly root range across domains; [?atlas]
     memoizes per-generated-representative verdicts (keys are the orderly
     copies' graph6, so orderly and rank-range runs populate disjoint
@@ -78,7 +82,7 @@ val merge_orderly_census : graph_census -> graph_census -> graph_census
     Requires equal [n]. *)
 
 val orderly_census_in :
-  ?atlas:Atlas.t -> Usage_cost.version -> int -> lo:int -> hi:int -> graph_census
+  ?atlas:Atlas.t -> Game.t -> int -> lo:int -> hi:int -> graph_census
 (** One shard of the orderly census: only the generation subtrees of
     roots [lo .. hi - 1] at {!Orderly.base_level} (see {!Orderly.iter}).
     @raise Invalid_argument unless [0 <= lo <= hi <= Orderly.space n]. *)
@@ -97,7 +101,7 @@ type kind = Trees | Graphs | Orderly
 
 type shard = {
   kind : kind;
-  version : Usage_cost.version;
+  game : Game.t;
   n : int;
   lo : int;  (** inclusive start rank *)
   hi : int;  (** exclusive end rank *)
@@ -124,14 +128,15 @@ val shard_space : kind -> int -> int
     or [2^(n(n-1)/2)] edge masks. [n] must be within
     {!max_shard_vertices}. *)
 
-val full_shard : kind -> Usage_cost.version -> int -> shard
+val full_shard : kind -> Game.t -> int -> shard
 (** The whole census as a single shard: [lo = 0], [hi = shard_space].
     @raise Invalid_argument when [n] is out of range. *)
 
 val validate_shard : shard -> (unit, string) Stdlib.result
 (** Total bounds check ([n] within the kind's cap, [0 <= lo <= hi <=]
-    {!shard_space}); the returned message is suitable for a structured
-    [invalid_params] reply. *)
+    {!shard_space}), plus the game/kind compatibility rule ({!Orderly}
+    requires a basic game); the returned message is suitable for a
+    structured [invalid_params] reply. *)
 
 val run_shard : ?atlas:Atlas.t -> shard -> result
 (** Classify every tree/graph of the shard's rank range sequentially.
@@ -154,7 +159,7 @@ val merge_result : result -> result -> result
     The first argument must be the lower-rank shard.
     @raise Invalid_argument on mixed kinds or different [n]. *)
 
-val tree_census_in : Usage_cost.version -> int -> lo:int -> hi:int -> tree_census
+val tree_census_in : Game.t -> int -> lo:int -> hi:int -> tree_census
 (** One shard of the tree census: only the trees of Prüfer rank
     [lo .. hi - 1] (see {!Enumerate.trees_in}). [total] counts the trees
     in the range. Disjoint adjacent shards merged with
@@ -162,7 +167,7 @@ val tree_census_in : Usage_cost.version -> int -> lo:int -> hi:int -> tree_censu
     @raise Invalid_argument unless [0 <= lo <= hi <= n^(n-2)]. *)
 
 val graph_census_in :
-  ?atlas:Atlas.t -> Usage_cost.version -> int -> lo:int -> hi:int -> graph_census
+  ?atlas:Atlas.t -> Game.t -> int -> lo:int -> hi:int -> graph_census
 (** One shard of the graph census: only the connected graphs whose
     edge-subset mask lies in [[lo, hi)] (see
     {!Enumerate.connected_graphs_in}). [connected] counts the connected

@@ -15,7 +15,7 @@ type schedule = Round_robin | Random_agent
 type outcome = Converged | Cycled | Round_limit
 
 type config = {
-  version : Usage_cost.version;
+  game : Game.t;
   rule : rule;
   schedule : schedule;
   max_rounds : int;
@@ -23,13 +23,13 @@ type config = {
   record_trace : bool;
 }
 
-let default_config version =
+let default_config game =
   {
-    version;
+    game;
     rule = Best_response;
     schedule = Round_robin;
     max_rounds = 10_000;
-    allow_deletions = version = Usage_cost.Max;
+    allow_deletions = Game.equal game Game.Max;
     record_trace = false;
   }
 
@@ -112,21 +112,56 @@ let sampled_move rng eng version v budget =
     !best
   end
 
-let pick_move rng eng cfg v =
+let pick_move rng eng version cfg v =
   let deletion =
-    if cfg.allow_deletions then find_neutral_deletion eng cfg.version v
-    else None
+    if cfg.allow_deletions then find_neutral_deletion eng version v else None
   in
   match deletion with
   | Some _ as d -> d
   | None -> (
     match cfg.rule with
-    | Best_response -> Swap_eval.best_move eng cfg.version v
-    | First_improving -> Swap_eval.first_improving_move eng cfg.version v
-    | Random_improving -> Swap_eval.random_improving_move rng eng cfg.version v
-    | Sampled budget -> sampled_move rng eng cfg.version v budget)
+    | Best_response -> Swap_eval.best_move eng version v
+    | First_improving -> Swap_eval.first_improving_move eng version v
+    | Random_improving -> Swap_eval.random_improving_move rng eng version v
+    | Sampled budget -> sampled_move rng eng version v budget)
 
-let run ?rng cfg g0 =
+(* The α-game has its own best-response engine (ownership-aware moves,
+   float costs); [run] delegates and maps the result into this module's
+   record. Rule/schedule refinements and traces are swap-engine features,
+   so the α path is plain round-robin best-response without a trace. *)
+let run_alpha cfg g0 =
+  if not (Components.is_connected g0) then
+    invalid_arg "Dynamics.run: input must be connected";
+  let alpha =
+    match cfg.game with Game.Alpha a -> a | Game.Sum | Game.Max -> assert false
+  in
+  let r = Alpha_game.run_dynamics ~max_rounds:cfg.max_rounds (Alpha_game.create ~alpha g0) in
+  let outcome =
+    match r.Alpha_game.outcome with
+    | Alpha_game.Converged -> Converged
+    | Alpha_game.Cycled -> Cycled
+    | Alpha_game.Round_limit -> Round_limit
+  in
+  Log.info (fun m ->
+      m "%s dynamics: %s after %d rounds, %d moves"
+        (Game.to_string cfg.game)
+        (match outcome with
+        | Converged -> "converged"
+        | Cycled -> "cycled"
+        | Round_limit -> "round limit")
+        r.Alpha_game.rounds r.Alpha_game.moves);
+  Telemetry.incr m_runs;
+  Telemetry.add m_rounds r.Alpha_game.rounds;
+  Telemetry.add m_moves r.Alpha_game.moves;
+  {
+    final = Graph.copy (Alpha_game.graph r.Alpha_game.state);
+    outcome;
+    rounds = r.Alpha_game.rounds;
+    moves = r.Alpha_game.moves;
+    trace = [];
+  }
+
+let run_basic ?rng version cfg g0 =
   if not (Components.is_connected g0) then
     invalid_arg "Dynamics.run: input must be connected";
   let rng = match rng with Some r -> r | None -> Prng.create 0 in
@@ -142,7 +177,7 @@ let run ?rng cfg g0 =
   let record mv d =
     Log.debug (fun m -> m "move %d: %s (delta %d)" !moves (Swap.move_to_string mv) d);
     if cfg.record_trace then begin
-      let social = Usage_cost.social_cost cfg.version g in
+      let social = Usage_cost.social_cost version g in
       let diameter = Option.value (Metrics.diameter g) ~default:(-1) in
       trace := { index = !moves; move = mv; delta = d; social; diameter } :: !trace
     end;
@@ -158,7 +193,7 @@ let run ?rng cfg g0 =
            | Round_robin -> slot
            | Random_agent -> Prng.int rng n
          in
-         match pick_move rng eng cfg v with
+         match pick_move rng eng version cfg v with
          | None -> ()
          | Some (mv, d) ->
            Swap.apply g mv;
@@ -182,7 +217,7 @@ let run ?rng cfg g0 =
          let pending = ref None in
          let v = ref 0 in
          while !pending = None && !v < n do
-           pending := pick_move rng eng { cfg with rule = First_improving } !v;
+           pending := pick_move rng eng version { cfg with rule = First_improving } !v;
            incr v
          done;
          match !pending with
@@ -213,7 +248,7 @@ let run ?rng cfg g0 =
    with Exit -> ());
   Log.info (fun m ->
       m "%s dynamics: %s after %d rounds, %d moves"
-        (Usage_cost.version_name cfg.version)
+        (Game.to_string cfg.game)
         (match !outcome with
         | Converged -> "converged"
         | Cycled -> "cycled"
@@ -224,15 +259,20 @@ let run ?rng cfg g0 =
   Telemetry.add m_moves !moves;
   { final = g; outcome = !outcome; rounds = !rounds; moves = !moves; trace = List.rev !trace }
 
+let run ?rng cfg g0 =
+  match Game.basic cfg.game with
+  | Some version -> run_basic ?rng version cfg g0
+  | None -> run_alpha cfg g0
+
 let converge_sum ?rng ?max_rounds g =
-  let cfg = default_config Usage_cost.Sum in
+  let cfg = default_config Game.Sum in
   let cfg =
     match max_rounds with None -> cfg | Some max_rounds -> { cfg with max_rounds }
   in
   run ?rng cfg g
 
 let converge_max ?rng ?max_rounds g =
-  let cfg = default_config Usage_cost.Max in
+  let cfg = default_config Game.Max in
   let cfg =
     match max_rounds with None -> cfg | Some max_rounds -> { cfg with max_rounds }
   in

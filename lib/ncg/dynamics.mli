@@ -35,7 +35,7 @@ type outcome =
   | Round_limit  (** the cap was reached first *)
 
 type config = {
-  version : Usage_cost.version;
+  game : Game.t;
   rule : rule;
   schedule : schedule;
   max_rounds : int;  (** a round = n scheduled agents *)
@@ -45,7 +45,7 @@ type config = {
   record_trace : bool;  (** keep per-move social cost / diameter series *)
 }
 
-val default_config : Usage_cost.version -> config
+val default_config : Game.t -> config
 (** Best-response, round-robin, [max_rounds = 10_000]; deletions enabled
     exactly for [Max]; no trace. *)
 
@@ -76,7 +76,11 @@ val draw_sampled_candidates :
 
 val run : ?rng:Prng.t -> config -> Graph.t -> result
 (** Runs the dynamics on a copy of the input (the input graph is not
-    mutated). The input must be connected.
+    mutated). The input must be connected. For [Game.Alpha _] the run
+    delegates to {!Alpha_game.run_dynamics} (round-robin best-response
+    over Buy/Sell/Swap_owned with default ownership); [rule], [schedule],
+    [allow_deletions] and [record_trace] are swap-engine refinements and
+    are ignored there — the trace comes back empty.
     @raise Invalid_argument on disconnected input. *)
 
 val converge_sum : ?rng:Prng.t -> ?max_rounds:int -> Graph.t -> result

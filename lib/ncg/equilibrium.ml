@@ -2,11 +2,14 @@ type verdict =
   | Equilibrium
   | Disconnected
   | Violation of Swap.move * int
+  | Alpha_violation of Alpha_game.move * float
 
 let pp_verdict ppf = function
   | Equilibrium -> Format.pp_print_string ppf "equilibrium"
   | Disconnected -> Format.pp_print_string ppf "disconnected"
   | Violation (mv, d) -> Format.fprintf ppf "violation (%a, delta=%d)" Swap.pp_move mv d
+  | Alpha_violation (mv, d) ->
+    Format.fprintf ppf "violation (%a, delta=%g)" Alpha_game.pp_move mv d
 
 exception Witness of Swap.move * int
 
@@ -98,23 +101,56 @@ let check_with ~agent_violation ?pool g =
   Telemetry.stop m_check t0;
   verdict
 
-let check ?pool version g =
-  let agent_violation =
-    match version with
-    | Usage_cost.Sum -> agent_violation_sum
-    | Usage_cost.Max -> agent_violation_max
+(* The alpha path goes through the same telemetry shell as the basic
+   games but scans with [Alpha_game.first_improving_move] — the pool is
+   unused (the per-move delta is already an apply/BFS/undo on a private
+   copy). Disconnection is reported as [Disconnected], matching the basic
+   games, rather than as a Buy witness with delta = -∞. *)
+let check_alpha alpha g =
+  let t0 = Telemetry.start () in
+  let st = Alpha_game.create ~alpha g in
+  let verdict =
+    if Usage_cost.is_infinite (Usage_cost.social_cost Usage_cost.Sum g) then
+      Disconnected
+    else begin
+      let n = Graph.n g in
+      let rec scan v =
+        if v >= n then None
+        else begin
+          Telemetry.incr m_agents;
+          match Alpha_game.first_improving_move st v with
+          | Some _ as w -> w
+          | None -> scan (v + 1)
+        end
+      in
+      match scan 0 with
+      | Some (mv, d) ->
+        Telemetry.incr m_early_exits;
+        Telemetry.set_gauge m_violating_agent (Alpha_game.actor mv);
+        Alpha_violation (mv, d)
+      | None -> Equilibrium
+    end
   in
-  check_with ~agent_violation ?pool g
+  Telemetry.stop m_check t0;
+  verdict
 
-let is_equilibrium ?pool version g = check ?pool version g = Equilibrium
+let check ?pool game g =
+  match game with
+  | Game.Sum -> check_with ~agent_violation:agent_violation_sum ?pool g
+  | Game.Max -> check_with ~agent_violation:agent_violation_max ?pool g
+  | Game.Alpha a ->
+    ignore pool;
+    check_alpha a g
 
-let check_sum ?pool g = check ?pool Usage_cost.Sum g
+let is_equilibrium ?pool game g = check ?pool game g = Equilibrium
 
-let is_sum_equilibrium ?pool g = is_equilibrium ?pool Usage_cost.Sum g
+let check_sum ?pool g = check ?pool Game.Sum g
 
-let check_max ?pool g = check ?pool Usage_cost.Max g
+let is_sum_equilibrium ?pool g = is_equilibrium ?pool Game.Sum g
 
-let is_max_equilibrium ?pool g = is_equilibrium ?pool Usage_cost.Max g
+let check_max ?pool g = check ?pool Game.Max g
+
+let is_max_equilibrium ?pool g = is_equilibrium ?pool Game.Max g
 
 (* Ascending non-neighbor candidates of [v], filled into one right-sized
    array — the k-swap/insertion enumerators below call this per vertex,

@@ -12,21 +12,28 @@ type verdict =
   | Disconnected
   | Violation of Swap.move * int
       (** A move and its (negative, or for max-deletions non-positive)
-          delta. *)
+          delta, for the basic swap games. *)
+  | Alpha_violation of Alpha_game.move * float
+      (** A Buy/Sell/Swap_owned move and its (negative) delta, for
+          [Game.Alpha _]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
-(** {1 Version-generic entry points}
+(** {1 Game-generic entry points}
 
-    Callers that carry a {!Usage_cost.version} value (the censuses, the
-    serving layer, the hunter, the CLI) go through these instead of
-    pattern-matching the version at every call site. *)
+    Callers that carry a {!Game.t} value (the censuses, the serving
+    layer, the hunter, the CLI) go through these instead of
+    pattern-matching the game at every call site. *)
 
-val check : ?pool:Pool.t -> Usage_cost.version -> Graph.t -> verdict
-(** [check version g] is {!check_sum} for [Sum] and {!check_max} for
-    [Max]; [?pool] as below. *)
+val check : ?pool:Pool.t -> Game.t -> Graph.t -> verdict
+(** [check game g] is {!check_sum} for [Sum] and {!check_max} for [Max];
+    [?pool] as below. For [Alpha a] the scan asks
+    {!Alpha_game.first_improving_move} agent by agent (lowest agent,
+    first move in enumeration order — the same witness convention as the
+    basic games) and reports an {!Alpha_violation}; [?pool] is ignored
+    there. *)
 
-val is_equilibrium : ?pool:Pool.t -> Usage_cost.version -> Graph.t -> bool
+val is_equilibrium : ?pool:Pool.t -> Game.t -> Graph.t -> bool
 
 (** {1 Sum version} *)
 

@@ -9,7 +9,7 @@ let m_restarts = Telemetry.counter "hunt.restarts"
 let m_candidates = Telemetry.counter "hunt.candidates_scored"
 
 type config = {
-  version : Usage_cost.version;
+  game : Game.t;
   n : int;
   target_diameter : int;
   steps : int;
@@ -17,9 +17,9 @@ type config = {
   initial_temperature : float;
 }
 
-let default_config ?(version = Usage_cost.Sum) ~n ~target_diameter () =
+let default_config ?(game = Game.Sum) ~n ~target_diameter () =
   {
-    version;
+    game;
     n;
     target_diameter;
     steps = 4000;
@@ -33,7 +33,15 @@ type result = {
   evaluated : int;
 }
 
-let violating_agents version g =
+let violating_agents_alpha alpha g =
+  let st = Alpha_game.create ~alpha g in
+  let count = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    if Alpha_game.first_improving_move st v <> None then incr count
+  done;
+  !count
+
+let violating_agents_basic version g =
   let n = Graph.n g in
   let eng = Swap_eval.create g in
   let count = ref 0 in
@@ -65,6 +73,14 @@ let violating_agents version g =
   done;
   !count
 
+let violating_agents game g =
+  match Game.basic game with
+  | Some version -> violating_agents_basic version g
+  | None -> (
+    match game with
+    | Game.Alpha a -> violating_agents_alpha a g
+    | Game.Sum | Game.Max -> assert false)
+
 (* Objective: lexicographic (diameter shortfall, violations), folded into a
    single float so annealing can compare. A huge weight keeps the diameter
    constraint dominant. *)
@@ -74,7 +90,7 @@ let score cfg g =
   | Some d ->
     let shortfall = max 0 (cfg.target_diameter - d) in
     (1000.0 *. float_of_int shortfall)
-    +. float_of_int (violating_agents cfg.version g)
+    +. float_of_int (violating_agents cfg.game g)
 
 (* neighbor move: toggle one vertex pair, rejecting toggles that disconnect
    or drop the graph below the target diameter too badly *)
@@ -107,7 +123,7 @@ let run rng cfg =
   let evaluated = ref 0 in
   let best_violations = ref max_int in
   let found = ref None in
-  let verify g = Equilibrium.is_equilibrium cfg.version g in
+  let verify g = Equilibrium.is_equilibrium cfg.game g in
   let restart = ref 0 in
   while !found = None && !restart < cfg.restarts do
     Telemetry.incr m_restarts;
@@ -153,7 +169,7 @@ let run rng cfg =
           if s = 0.0 && verify candidate then begin
             Log.info (fun m ->
                 m "verified %s equilibrium of diameter >= %d on %d vertices after %d candidates"
-                  (Usage_cost.version_name cfg.version)
+                  (Game.to_string cfg.game)
                   cfg.target_diameter cfg.n !evaluated);
             found := Some candidate
           end

@@ -14,7 +14,7 @@ val log_src : Logs.Src.t
 (** Log source ["bncg.hunt"]: progress at debug level, finds at info. *)
 
 type config = {
-  version : Usage_cost.version;
+  game : Game.t;
   n : int;  (** vertex count of candidate graphs *)
   target_diameter : int;  (** require diameter >= this *)
   steps : int;  (** annealing steps *)
@@ -23,8 +23,8 @@ type config = {
 }
 
 val default_config :
-  ?version:Usage_cost.version -> n:int -> target_diameter:int -> unit -> config
-(** 4000 steps, 4 restarts, temperature 2.0, sum version. *)
+  ?game:Game.t -> n:int -> target_diameter:int -> unit -> config
+(** 4000 steps, 4 restarts, temperature 2.0, sum game. *)
 
 type result = {
   found : Graph.t option;
@@ -35,10 +35,12 @@ type result = {
   evaluated : int;  (** candidate graphs scored *)
 }
 
-val violating_agents : Usage_cost.version -> Graph.t -> int
+val violating_agents : Game.t -> Graph.t -> int
 (** Number of agents holding at least one improving move (the search
     objective; 0 iff equilibrium for connected graphs). For the max version
-    an agent also violates by holding a non-critical deletion. *)
+    an agent also violates by holding a non-critical deletion; for
+    [Alpha _] the moves are Buy/Sell/Swap_owned under default
+    ownership. *)
 
 val run : Prng.t -> config -> result
 

@@ -21,7 +21,7 @@ let m_bfs = Telemetry.counter "scale.dynamics.bfs_runs"
 type confirm = Exact_scan | Quiescence of int
 
 type config = {
-  version : Usage_cost.version;
+  game : Game.t;
   budget : int;
   probes_per_round : int;
   max_rounds : int;
@@ -34,13 +34,13 @@ type config = {
   record_trace : bool;
 }
 
-let default_config version =
+let default_config game =
   {
-    version;
+    game;
     budget = 16;
     probes_per_round = 0;
     max_rounds = 10_000;
-    allow_deletions = version = Usage_cost.Max;
+    allow_deletions = Game.equal game Game.Max;
     confirm = Exact_scan;
     window = 1 lsl 20;
     trajectory_every = 0;
@@ -70,6 +70,19 @@ type result = {
 }
 
 let run ?pool ?rng cfg csr =
+  (* the certified-bound machinery and the CSR kernels speak the basic
+     two-game cost model; the α-game (ownership state, float costs) has
+     no sampled engine yet and is rejected up front with a clear error *)
+  let version =
+    match Game.basic cfg.game with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Scale_dynamics.run: the scale engine supports only the basic \
+            games (sum, max); got %s"
+           (Game.to_string cfg.game))
+  in
   if cfg.budget < 1 then invalid_arg "Scale_dynamics.run: budget < 1";
   if cfg.window < 1 then invalid_arg "Scale_dynamics.run: window < 1";
   let rng = match rng with Some r -> r | None -> Prng.create 0 in
@@ -150,7 +163,7 @@ let run ?pool ?rng cfg csr =
   in
   let after_cost reached s e =
     if reached < n then inf
-    else match cfg.version with Usage_cost.Sum -> s | Usage_cost.Max -> e
+    else match version with Usage_cost.Sum -> s | Usage_cost.Max -> e
   in
   (* Neutral-deletion scan, mirroring Dynamics.find_neutral_deletion: Max
      only, sorted-row order, first drop with exact delta < 1. *)
@@ -182,7 +195,7 @@ let run ?pool ?rng cfg csr =
       if reached < n then invalid_arg "Scale_dynamics: graph became disconnected";
       let row = Flexcsr.neighbors fx v in
       let deletion =
-        if cfg.allow_deletions && cfg.version = Usage_cost.Max then
+        if cfg.allow_deletions && version = Usage_cost.Max then
           find_deletion v row ecc_v
         else None
       in
@@ -192,7 +205,7 @@ let run ?pool ?rng cfg csr =
         if deg >= n - 1 then None
         else begin
           let cost_v =
-            match cfg.version with Usage_cost.Sum -> sum_v | Usage_cost.Max -> ecc_v
+            match version with Usage_cost.Sum -> sum_v | Usage_cost.Max -> ecc_v
           in
           let pairs =
             Dynamics.draw_sampled_candidates rng ~deg ~n ~budget:cfg.budget
@@ -227,7 +240,7 @@ let run ?pool ?rng cfg csr =
             pairs;
           if !ncand = 0 then None
           else begin
-            if cfg.version = Usage_cost.Sum then begin
+            if version = Usage_cost.Sum then begin
               (* one BFS per distinct drop: distances from v in G − vw,
                  folded into base = Σ_u min(dd_w(u), 2 + d_v(u)) *)
               let drop_slot = Hashtbl.create 8 in
@@ -306,7 +319,7 @@ let run ?pool ?rng cfg csr =
                     match !best with None -> 0 | Some (_, bd) -> bd
                   in
                   let certified =
-                    cfg.version = Usage_cost.Sum
+                    version = Usage_cost.Sum
                     && cand_delta.(c) = max_int
                     && acc.(c) - cost_v >= cutoff
                   in
@@ -353,7 +366,7 @@ let run ?pool ?rng cfg csr =
       ignore reached;
       let row = Flexcsr.neighbors fx v in
       let deletion =
-        if cfg.allow_deletions && cfg.version = Usage_cost.Max then
+        if cfg.allow_deletions && version = Usage_cost.Max then
           find_deletion v row ecc_v
         else None
       in
@@ -361,7 +374,7 @@ let run ?pool ?rng cfg csr =
       | Some _ as d -> d
       | None ->
         let cost_v =
-          match cfg.version with Usage_cost.Sum -> sum_v | Usage_cost.Max -> ecc_v
+          match version with Usage_cost.Sum -> sum_v | Usage_cost.Max -> ecc_v
         in
         let found = ref None in
         (try
@@ -458,7 +471,7 @@ let run ?pool ?rng cfg csr =
   take_sample !rounds;
   Log.info (fun m ->
       m "%s scale dynamics: %s after %d rounds, %d probes, %d moves"
-        (Usage_cost.version_name cfg.version)
+        (Game.to_string cfg.game)
         (match !outcome with
         | Dynamics.Converged ->
           if !sampled_verdict then "converged (sampled verdict)" else "converged"

@@ -46,7 +46,7 @@ type confirm =
           large n) *)
 
 type config = {
-  version : Usage_cost.version;
+  game : Game.t;
   budget : int;  (** sampled candidates per probe, as [Dynamics.Sampled] *)
   probes_per_round : int;  (** 0 means n, matching the exact engine *)
   max_rounds : int;
@@ -63,7 +63,7 @@ type config = {
   record_trace : bool;
 }
 
-val default_config : Usage_cost.version -> config
+val default_config : Game.t -> config
 (** [budget = 16], a round of n probes, [max_rounds = 10_000],
     [Exact_scan], [window = 2²⁰], trajectory at start/end from 32
     sources; deletions exactly for [Max]. *)

@@ -82,7 +82,7 @@ let journal_header (shard : Census.shard) ~parts =
          ("journal", Jsonx.Str "bncg-census");
          ("v", Jsonx.Int 1);
          ("kind", Jsonx.Str (Census.kind_name shard.Census.kind));
-         ("game", Jsonx.Str (Usage_cost.version_name shard.Census.version));
+         ("game", Jsonx.Str (Game.to_string shard.Census.game));
          ("n", Jsonx.Int shard.Census.n);
          ("lo", Jsonx.Int shard.Census.lo);
          ("hi", Jsonx.Int shard.Census.hi);

@@ -1,16 +1,25 @@
-let protocol_version = 1
+let protocol_version = 2
+
+(* Version 1 is the pre-[Game.t] wire format: no ["game"] field on the
+   envelope level, games spelled only "sum"/"max". Version 2 adds the
+   extensible game registry ("game" accepting alpha:<float> spellings and
+   the [unsupported_game] error code). Requests from either era are
+   served: the v1 grammar is a subset of v2's, so old clients keep
+   getting byte-identical replies. *)
+let min_protocol_version = 1
 
 type request =
   | Ping
   | Stats
   | Info of { g6 : string; graph : Graph.t }
-  | Check of { version : Usage_cost.version; g6 : string; graph : Graph.t }
+  | Check of { game : Game.t; g6 : string; graph : Graph.t }
   | Census_shard of Census.shard
 
 type error_code =
   | Parse_error
   | Invalid_request
   | Unsupported_version
+  | Unsupported_game
   | Unknown_method
   | Invalid_params
   | Bad_graph6
@@ -22,6 +31,7 @@ let error_code_name = function
   | Parse_error -> "parse_error"
   | Invalid_request -> "invalid_request"
   | Unsupported_version -> "unsupported_version"
+  | Unsupported_game -> "unsupported_game"
   | Unknown_method -> "unknown_method"
   | Invalid_params -> "invalid_params"
   | Bad_graph6 -> "bad_graph6"
@@ -30,11 +40,6 @@ let error_code_name = function
   | Internal -> "internal"
 
 (* --- request parsing ----------------------------------------------------- *)
-
-let version_of_string = function
-  | "sum" -> Some Usage_cost.Sum
-  | "max" -> Some Usage_cost.Max
-  | _ -> None
 
 let parse_request line =
   match Jsonx.parse line with
@@ -60,13 +65,15 @@ let parse_request line =
         let version_ok =
           match Jsonx.member "v" json with
           | None -> Ok ()
-          | Some (Jsonx.Int v) when v = protocol_version -> Ok ()
+          | Some (Jsonx.Int v)
+            when v >= min_protocol_version && v <= protocol_version ->
+            Ok ()
           | Some (Jsonx.Int v) ->
             Error
               ( Unsupported_version,
                 Printf.sprintf
-                  "protocol version %d is not supported (this server speaks %d)"
-                  v protocol_version )
+                  "protocol version %d is not supported (this server speaks %d..%d)"
+                  v min_protocol_version protocol_version )
           | Some _ -> Error (Invalid_request, "\"v\" must be an integer")
         in
         match version_ok with
@@ -77,11 +84,26 @@ let parse_request line =
         let int_param k = Option.bind (Jsonx.member k params) Jsonx.to_int in
         let game () =
           match str_param "game" with
-          | None -> Ok Usage_cost.Sum (* protocol default, like the CLI *)
           | Some s -> (
-            match version_of_string s with
-            | Some v -> Ok v
-            | None -> Error (Printf.sprintf "unknown game %S (expected sum or max)" s))
+            (* an unknown or malformed game is a structured refusal
+               ([unsupported_game]), never a parse failure: a v1 server
+               rejecting a v2 spelling must fail loudly, not confusingly *)
+            match Game.of_string s with
+            | Ok g -> Ok g
+            | Error msg -> Error (Unsupported_game, msg))
+          | None -> (
+            (* legacy pre-registry field: basic games only *)
+            match str_param "version" with
+            | None -> Ok Game.Sum (* protocol default, like the CLI *)
+            | Some "sum" -> Ok Game.Sum
+            | Some "max" -> Ok Game.Max
+            | Some s ->
+              Error
+                ( Unsupported_game,
+                  Printf.sprintf
+                    "unknown game %S in legacy \"version\" field (expected \
+                     sum or max; use \"game\" for variants)"
+                    s ))
         in
         let graph () =
           match str_param "graph6" with
@@ -106,15 +128,14 @@ let parse_request line =
               | Error (`Bad msg) -> fail Bad_graph6 msg)
             | "check" -> (
               match (game (), graph ()) with
-              | Error msg, _ -> fail Invalid_params msg
+              | Error (code, msg), _ -> fail code msg
               | _, Error `Missing -> fail Invalid_params "missing params.graph6"
               | _, Error (`Bad msg) -> fail Bad_graph6 msg
-              | Ok version, Ok (g6, graph) ->
-                Ok (id, Check { version; g6; graph }))
+              | Ok game, Ok (g6, graph) -> Ok (id, Check { game; g6; graph }))
             | "census-shard" -> (
               match game () with
-              | Error msg -> fail Invalid_params msg
-              | Ok version -> (
+              | Error (code, msg) -> fail code msg
+              | Ok game -> (
                 let kind =
                   match str_param "kind" with
                   | Some s -> (
@@ -132,7 +153,7 @@ let parse_request line =
                 | _, _, None, _ -> fail Invalid_params "missing integer params.lo"
                 | _, _, _, None -> fail Invalid_params "missing integer params.hi"
                 | Ok kind, Some n, Some lo, Some hi ->
-                  Ok (id, Census_shard { Census.kind; version; n; lo; hi })))
+                  Ok (id, Census_shard { Census.kind; game; n; lo; hi })))
             | _ -> fail Unknown_method (Printf.sprintf "unknown method %S" meth))
           | _ -> fail Invalid_request "params must be an object")
         | Some _ -> fail Invalid_request "method must be a string")))
@@ -160,16 +181,17 @@ let info_result g =
       ("protocol_version", Jsonx.Int protocol_version);
     ]
 
-let check_result version verdict g =
+let check_result game verdict g =
   let base =
     [
-      ("game", Jsonx.Str (Usage_cost.version_name version));
+      ("game", Jsonx.Str (Game.to_string game));
       ( "verdict",
         Jsonx.Str
           (match verdict with
           | Equilibrium.Equilibrium -> "equilibrium"
           | Equilibrium.Disconnected -> "disconnected"
-          | Equilibrium.Violation _ -> "violation") );
+          | Equilibrium.Violation _ | Equilibrium.Alpha_violation _ ->
+            "violation") );
     ]
   in
   let witness =
@@ -183,13 +205,22 @@ let check_result version verdict g =
               ("delta", Jsonx.Int delta);
             ] );
       ]
-    | _ -> []
+    | Equilibrium.Alpha_violation (move, delta) ->
+      [
+        ( "witness",
+          Jsonx.Obj
+            [
+              ("move", Jsonx.Str (Alpha_game.move_to_string move));
+              ("delta", Jsonx.Float delta);
+            ] );
+      ]
+    | Equilibrium.Equilibrium | Equilibrium.Disconnected -> []
   in
   Jsonx.Obj (base @ witness @ [ ("diameter", opt_int (Metrics.diameter g)) ])
 
 let verdict_is_invariant = function
   | Equilibrium.Equilibrium | Equilibrium.Disconnected -> true
-  | Equilibrium.Violation _ -> false
+  | Equilibrium.Violation _ | Equilibrium.Alpha_violation _ -> false
 
 let tree_census_result (c : Census.tree_census) =
   Jsonx.Obj
@@ -322,7 +353,7 @@ let shard_params (s : Census.shard) =
   Jsonx.Obj
     [
       ("kind", Jsonx.Str (Census.kind_name s.Census.kind));
-      ("game", Jsonx.Str (Usage_cost.version_name s.Census.version));
+      ("game", Jsonx.Str (Game.to_string s.Census.game));
       ("n", Jsonx.Int s.Census.n);
       ("lo", Jsonx.Int s.Census.lo);
       ("hi", Jsonx.Int s.Census.hi);

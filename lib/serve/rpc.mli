@@ -15,10 +15,17 @@
     [{"id": .., "ok": false, "error": {"code", "message"}}]. *)
 
 val protocol_version : int
-(** The version this build speaks (1). A request carrying any other
-    ["v"] is refused with {!Unsupported_version}; [info] and [stats]
-    results advertise the value so clients can probe before dispatching
-    work. *)
+(** The newest version this build speaks (2: the extensible game
+    registry — ["game"] accepts [alpha:<float>] spellings and unknown
+    games are refused with {!Unsupported_game}). A request carrying a
+    ["v"] outside [{!min_protocol_version}..{!protocol_version}] is
+    refused with {!Unsupported_version}; [info] and [stats] results
+    advertise the value so clients can probe before dispatching work. *)
+
+val min_protocol_version : int
+(** The oldest version still served (1, the pre-registry wire format:
+    no envelope changes are needed for v1 requests, so they keep
+    getting byte-identical replies). *)
 
 (** A parsed, validated request. Graph-carrying methods keep the raw
     graph6 text alongside the decoded graph — it is the exact-match
@@ -27,7 +34,7 @@ type request =
   | Ping
   | Stats
   | Info of { g6 : string; graph : Graph.t }
-  | Check of { version : Usage_cost.version; g6 : string; graph : Graph.t }
+  | Check of { game : Game.t; g6 : string; graph : Graph.t }
   | Census_shard of Census.shard
       (** Range bounds are parsed, not validated — the server answers
           out-of-range shards with [invalid_params] via
@@ -37,6 +44,10 @@ type error_code =
   | Parse_error  (** the line is not valid JSON *)
   | Invalid_request  (** valid JSON, wrong envelope shape *)
   | Unsupported_version  (** well-formed envelope, a ["v"] we don't speak *)
+  | Unsupported_game
+      (** well-formed request, a ["game"] (or legacy ["version"]) string
+          outside the registry — distinct from {!Invalid_params} so old
+          servers meeting new game spellings fail recognizably *)
   | Unknown_method
   | Invalid_params
   | Bad_graph6  (** params well-shaped but the graph6 string is malformed *)
@@ -62,14 +73,19 @@ val ping_result : Jsonx.t
 
 val info_result : Graph.t -> Jsonx.t
 
-val check_result : Usage_cost.version -> Equilibrium.verdict -> Graph.t -> Jsonx.t
-(** Includes the version, the verdict (with the witness move and delta
-    on violations), and the diameter (null when disconnected). *)
+val check_result : Game.t -> Equilibrium.verdict -> Graph.t -> Jsonx.t
+(** Includes the game, the verdict (with the witness move and delta on
+    violations — an integer delta for the basic games, a float for
+    alpha), and the diameter (null when disconnected). *)
 
 val verdict_is_invariant : Equilibrium.verdict -> bool
 (** Whether the verdict is invariant under vertex relabeling —
     [Equilibrium] and [Disconnected] are, a [Violation] witness names
-    concrete vertices and is not. Gates canonical-form caching. *)
+    concrete vertices and is not. Gates canonical-form caching, {e
+    together with} [Game.is_basic]: for the α-game even an
+    [Equilibrium] verdict is labeling-dependent (edge ownership follows
+    vertex order), so the server never canonical-caches alpha
+    verdicts. *)
 
 val tree_census_result : Census.tree_census -> Jsonx.t
 

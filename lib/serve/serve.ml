@@ -286,17 +286,19 @@ let do_info srv (g6 : string) g =
         atlas_add srv key r;
         Ok r))
 
-let do_check srv ~deadline version (g6 : string) g =
+let do_check srv ~deadline game (g6 : string) g =
   match graph_too_large srv g with
   | Some err -> Error err
   | None -> (
-    let game = Usage_cost.version_name version in
-    let exact_key = Printf.sprintf "check:%s:%s" game g6 in
+    let game_name = Game.to_string game in
+    let exact_key = Printf.sprintf "check:%s:%s" game_name g6 in
     (* canonical key: relabelings of an already-checked graph are hits.
-       Guarded by the Canon search cap; larger graphs only dedupe on the
-       exact bytes. *)
+       Guarded by the Canon search cap and restricted to the basic games
+       — an alpha verdict depends on the labeling through edge ownership,
+       so even "equilibrium" must not be served to a relabeling. Larger
+       graphs only dedupe on the exact bytes. *)
     let canon_key =
-      if Graph.n g <= Canon.max_search_vertices then begin
+      if Game.is_basic game && Graph.n g <= Canon.max_search_vertices then begin
         let cf =
           match Lru_sharded.find srv.canon g6 with
           | Some cf -> cf
@@ -305,7 +307,7 @@ let do_check srv ~deadline version (g6 : string) g =
             Lru_sharded.add srv.canon g6 cf;
             cf
         in
-        Some (Printf.sprintf "check:%s:canon:%s" game cf)
+        Some (Printf.sprintf "check:%s:canon:%s" game_name cf)
       end
       else None
     in
@@ -343,13 +345,13 @@ let do_check srv ~deadline version (g6 : string) g =
             ~finally:(fun () -> Mutex.unlock srv.pool_lock)
             (fun () ->
               if past deadline then None
-              else Some (Equilibrium.check ~pool:srv.pool version g))
+              else Some (Equilibrium.check ~pool:srv.pool game g))
         in
         match verdict with
         | None ->
           Error (Rpc.Timeout, "deadline expired while queued for the pool")
         | Some verdict ->
-          let r = Jsonx.to_string (Rpc.check_result version verdict g) in
+          let r = Jsonx.to_string (Rpc.check_result game verdict g) in
           Lru_sharded.add srv.cache exact_key r;
           atlas_add srv exact_key r;
           (* a violation witness names concrete vertices, so it is only
@@ -396,7 +398,7 @@ let dispatch srv ~deadline = function
   | Rpc.Ping -> Ok (Jsonx.to_string Rpc.ping_result)
   | Rpc.Stats -> Ok (Jsonx.to_string (stats_result srv))
   | Rpc.Info { g6; graph } -> do_info srv g6 graph
-  | Rpc.Check { version; g6; graph } -> do_check srv ~deadline version g6 graph
+  | Rpc.Check { game; g6; graph } -> do_check srv ~deadline game g6 graph
   | Rpc.Census_shard shard -> do_census srv ~deadline shard
 
 (* Everything below the envelope goes through here: every line gets a

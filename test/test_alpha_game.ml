@@ -21,7 +21,8 @@ let test_create_custom_owner () =
 let test_create_rejects () =
   Alcotest.check_raises "negative alpha" (Invalid_argument "Alpha_game.create: negative alpha")
     (fun () -> ignore (Alpha_game.create ~alpha:(-1.0) (Generators.star 3)));
-  Alcotest.check_raises "bad owner" (Invalid_argument "Alpha_game.create: owner not an endpoint")
+  Alcotest.check_raises "bad owner"
+    (Invalid_argument "Alpha_game.create: owner 99 of edge 0-1 is not an endpoint")
     (fun () -> ignore (Alpha_game.create ~alpha:1.0 ~owner:(fun _ _ -> 99) (Generators.star 3)))
 
 let test_agent_cost () =

@@ -34,14 +34,14 @@ let census_identity version n () =
   check_true "warm pass hit the atlas" (warm_stats.Atlas.hits > 0);
   check_int "warm pass appended nothing" 0 warm_stats.Atlas.appended
 
-let test_census_identity_sum = census_identity Usage_cost.Sum 5
-let test_census_identity_max = census_identity Usage_cost.Max 5
+let test_census_identity_sum = census_identity Game.Sum 5
+let test_census_identity_max = census_identity Game.Max 5
 
 let test_tree_census_ignores_atlas () =
   (* trees classify in closed form, cheaper than an atlas probe: the
      shard must neither consult nor populate the store *)
   with_dir "census-trees" @@ fun dir ->
-  let shard = Census.full_shard Census.Trees Usage_cost.Sum 6 in
+  let shard = Census.full_shard Census.Trees Game.Sum 6 in
   let plain = render (Census.run_shard shard) in
   let with_atlas, stats = census_pass dir shard in
   check_str "identical to plain" plain with_atlas;

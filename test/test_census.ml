@@ -2,7 +2,7 @@ open Test_helpers
 
 let test_tree_census_sum_small () =
   for n = 3 to 7 do
-    let c = Census.tree_census Usage_cost.Sum n in
+    let c = Census.tree_census Game.Sum n in
     check_int "total = n^(n-2)" (Enumerate.count_trees n) c.Census.total;
     check_int "equilibria are the n stars" n c.Census.equilibria;
     check_int "all stars" n c.Census.stars;
@@ -12,7 +12,7 @@ let test_tree_census_sum_small () =
 
 let test_tree_census_max_small () =
   for n = 3 to 7 do
-    let c = Census.tree_census Usage_cost.Max n in
+    let c = Census.tree_census Game.Max n in
     check_int "stars counted" n c.Census.stars;
     check_int "eq = stars + double stars"
       (c.Census.stars + c.Census.double_stars)
@@ -20,15 +20,15 @@ let test_tree_census_max_small () =
     check_true "diameter <= 3" (c.Census.max_eq_diameter <= 3)
   done;
   (* diameter 3 first attained at n = 6 (double_star 2 2) *)
-  check_int "n=5 no double stars" 0 (Census.tree_census Usage_cost.Max 5).Census.double_stars;
-  check_int "n=6 diameter 3" 3 (Census.tree_census Usage_cost.Max 6).Census.max_eq_diameter
+  check_int "n=5 no double stars" 0 (Census.tree_census Game.Max 5).Census.double_stars;
+  check_int "n=6 diameter 3" 3 (Census.tree_census Game.Max 6).Census.max_eq_diameter
 
 let test_double_star_count_n6 () =
   (* labeled double stars with arms (2,2) on 6 vertices: choose the
      ordered root pair (30) then 3 of 4 remaining leaves for root a...
      combinatorially C(6,2)*C(4,2)/1 * ... = 15 unordered root pairs x
      C(4,2)=6 leaf splits / 2 for arm symmetry... the census says 90 *)
-  check_int "n=6 double stars" 90 (Census.tree_census Usage_cost.Max 6).Census.double_stars
+  check_int "n=6 double stars" 90 (Census.tree_census Game.Max 6).Census.double_stars
 
 (* Differential cross-check of the census against an independent brute
    force: walk the whole Prüfer rank range with [trees_in] (no sharding,
@@ -48,7 +48,7 @@ let brute_force_sum_census n =
 
 let differential_sum_census n =
   let total, equilibria, stars = brute_force_sum_census n in
-  let c = Census.tree_census Usage_cost.Sum n in
+  let c = Census.tree_census Game.Sum n in
   check_int "totals agree" total c.Census.total;
   check_int "equilibria agree" equilibria c.Census.equilibria;
   check_int "stars agree" stars c.Census.stars
@@ -61,7 +61,7 @@ let test_differential_sum_census_small () =
 let test_differential_sum_census_n7 () = differential_sum_census 7
 
 let test_graph_census_sum () =
-  let c = Census.graph_census Usage_cost.Sum 4 in
+  let c = Census.graph_census Game.Sum 4 in
   check_int "connected count" 38 c.Census.connected;
   check_int "labeled equilibria" 26 c.Census.equilibria_labeled;
   check_int "iso classes" 5 (List.length c.Census.equilibria_iso);
@@ -71,18 +71,18 @@ let test_graph_census_sum () =
     c.Census.equilibria_iso
 
 let test_graph_census_max () =
-  let c = Census.graph_census Usage_cost.Max 5 in
+  let c = Census.graph_census Game.Max 5 in
   check_int "iso classes" 4 (List.length c.Census.equilibria_iso);
   List.iter
     (fun g -> check_true "verified" (Equilibrium.is_max_equilibrium g))
     c.Census.equilibria_iso
 
 let test_graph_census_max_diameter3_at_6 () =
-  let c = Census.graph_census Usage_cost.Max 6 in
+  let c = Census.graph_census Game.Max 6 in
   check_int "diameter 3 attained" 3 c.Census.max_diameter
 
 let test_histogram_consistent () =
-  let c = Census.graph_census Usage_cost.Sum 5 in
+  let c = Census.graph_census Game.Sum 5 in
   let total = List.fold_left (fun acc (_, k) -> acc + k) 0 c.Census.diameter_histogram in
   check_int "histogram covers all classes" (List.length c.Census.equilibria_iso) total
 
@@ -91,7 +91,7 @@ let test_histogram_consistent () =
 let test_split_properties () =
   List.iter
     (fun (kind, n) ->
-      let full = Census.full_shard kind Usage_cost.Sum n in
+      let full = Census.full_shard kind Game.Sum n in
       List.iter
         (fun parts ->
           let pieces = Census.split full ~parts in
@@ -111,33 +111,33 @@ let test_split_properties () =
         [ 1; 2; 3; 7; 16; 1000 ])
     [ (Census.Trees, 5); (Census.Graphs, 4); (Census.Orderly, 6) ];
   (* an empty range stays a single empty shard *)
-  let empty = { (Census.full_shard Census.Trees Usage_cost.Sum 5) with Census.lo = 9; hi = 9 } in
+  let empty = { (Census.full_shard Census.Trees Game.Sum 5) with Census.lo = 9; hi = 9 } in
   (match Census.split empty ~parts:4 with
   | [ s ] -> check_true "empty shard preserved" (s.Census.lo = 9 && s.Census.hi = 9)
   | pieces -> check_int "one piece" 1 (List.length pieces))
 
 let test_run_shard_matches_wrappers () =
-  let t = Census.full_shard Census.Trees Usage_cost.Max 5 in
+  let t = Census.full_shard Census.Trees Game.Max 5 in
   let t = { t with Census.lo = 10; hi = 90 } in
   (match Census.run_shard t with
   | Census.Tree_result c ->
     check_true "tree shard = tree_census_in"
-      (c = Census.tree_census_in Usage_cost.Max 5 ~lo:10 ~hi:90)
+      (c = Census.tree_census_in Game.Max 5 ~lo:10 ~hi:90)
   | _ -> check_true "tree kind" false);
-  let g = Census.full_shard Census.Graphs Usage_cost.Sum 4 in
+  let g = Census.full_shard Census.Graphs Game.Sum 4 in
   let g = { g with Census.lo = 8; hi = 40 } in
   (match Census.run_shard g with
   | Census.Graph_result c ->
     check_int "graph shard = graph_census_in"
-      (Census.graph_census_in Usage_cost.Sum 4 ~lo:8 ~hi:40).Census.connected
+      (Census.graph_census_in Game.Sum 4 ~lo:8 ~hi:40).Census.connected
       c.Census.connected
   | _ -> check_true "graph kind" false);
-  let o = Census.full_shard Census.Orderly Usage_cost.Sum 5 in
+  let o = Census.full_shard Census.Orderly Game.Sum 5 in
   let o = { o with Census.lo = 2; hi = 14 } in
   match Census.run_shard o with
   | Census.Orderly_result c ->
     check_true "orderly shard = orderly_census_in"
-      (c = Census.orderly_census_in Usage_cost.Sum 5 ~lo:2 ~hi:14)
+      (c = Census.orderly_census_in Game.Sum 5 ~lo:2 ~hi:14)
   | _ -> check_true "orderly kind" false
 
 (* The tentpole's acceptance bar: the orderly census record must equal
@@ -153,17 +153,17 @@ let orderly_identity version n =
        (Jsonx.to_string (Rpc.graph_census_result b)))
 
 let test_orderly_identity_small () =
-  orderly_identity Usage_cost.Sum 4;
-  orderly_identity Usage_cost.Sum 5;
-  orderly_identity Usage_cost.Max 5
+  orderly_identity Game.Sum 4;
+  orderly_identity Game.Sum 5;
+  orderly_identity Game.Max 5
 
 let test_orderly_identity_n6 () =
-  orderly_identity Usage_cost.Sum 6;
-  orderly_identity Usage_cost.Max 6
+  orderly_identity Game.Sum 6;
+  orderly_identity Game.Max 6
 
 let test_merge_result_rejects_mixed () =
-  let t = Census.run_shard (Census.full_shard Census.Trees Usage_cost.Sum 4) in
-  let g = Census.run_shard (Census.full_shard Census.Graphs Usage_cost.Sum 4) in
+  let t = Census.run_shard (Census.full_shard Census.Trees Game.Sum 4) in
+  let g = Census.run_shard (Census.full_shard Census.Graphs Game.Sum 4) in
   Alcotest.check_raises "mixed kinds rejected"
     (Invalid_argument "Census.merge_result: mixed census kinds") (fun () ->
       ignore (Census.merge_result t g))
@@ -198,11 +198,11 @@ let merge_in_seeded_order env seed =
   in
   String.equal expected (render_result (reduce results))
 
-let tree_perm_env = merge_perm_env Census.Trees Usage_cost.Sum 6 7
+let tree_perm_env = merge_perm_env Census.Trees Game.Sum 6 7
 
-let graph_perm_env = merge_perm_env Census.Graphs Usage_cost.Max 4 6
+let graph_perm_env = merge_perm_env Census.Graphs Game.Max 4 6
 
-let orderly_perm_env = merge_perm_env Census.Orderly Usage_cost.Sum 6 7
+let orderly_perm_env = merge_perm_env Census.Orderly Game.Sum 6 7
 
 let suite =
   [

@@ -26,9 +26,9 @@ let slow_worker name delay =
         Thread.delay delay;
         Ok (Census.run_shard s) )
 
-let tree_shard = Census.full_shard Census.Trees Usage_cost.Sum 5
+let tree_shard = Census.full_shard Census.Trees Game.Sum 5
 
-let graph_shard = Census.full_shard Census.Graphs Usage_cost.Max 4
+let graph_shard = Census.full_shard Census.Graphs Game.Max 4
 
 let base =
   { Dispatch.default_config with Dispatch.parts = 6; backoff = 0.001 }

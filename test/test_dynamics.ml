@@ -39,10 +39,10 @@ let test_converged_is_equilibrium () =
   for seed = 1 to 5 do
     let rng2 = Prng.create seed in
     let g = Random_graphs.connected_gnm rng2 15 30 in
-    let r = Dynamics.run ~rng (Dynamics.default_config Usage_cost.Sum) g in
+    let r = Dynamics.run ~rng (Dynamics.default_config Game.Sum) g in
     if r.Dynamics.outcome = Dynamics.Converged then
       check_true "verified equilibrium" (Equilibrium.is_sum_equilibrium r.Dynamics.final);
-    let rm = Dynamics.run ~rng (Dynamics.default_config Usage_cost.Max) g in
+    let rm = Dynamics.run ~rng (Dynamics.default_config Game.Max) g in
     if rm.Dynamics.outcome = Dynamics.Converged then
       check_true "verified max equilibrium" (Equilibrium.is_max_equilibrium rm.Dynamics.final)
   done
@@ -50,7 +50,7 @@ let test_converged_is_equilibrium () =
 let test_rules_all_converge () =
   List.iter
     (fun rule ->
-      let cfg = { (Dynamics.default_config Usage_cost.Sum) with Dynamics.rule } in
+      let cfg = { (Dynamics.default_config Game.Sum) with Dynamics.rule } in
       let rng = Prng.create 7 in
       let r = Dynamics.run ~rng cfg (Generators.path 12) in
       check_true "converged" (r.Dynamics.outcome = Dynamics.Converged);
@@ -60,7 +60,7 @@ let test_rules_all_converge () =
 let test_schedules_all_converge () =
   List.iter
     (fun schedule ->
-      let cfg = { (Dynamics.default_config Usage_cost.Sum) with Dynamics.schedule } in
+      let cfg = { (Dynamics.default_config Game.Sum) with Dynamics.schedule } in
       let rng = Prng.create 8 in
       let r = Dynamics.run ~rng cfg (Generators.cycle 11) in
       check_true "converged" (r.Dynamics.outcome = Dynamics.Converged);
@@ -71,7 +71,7 @@ let test_sampled_rule_converges () =
   (* bounded agents with a tiny budget still reach a true equilibrium *)
   let cfg =
     {
-      (Dynamics.default_config Usage_cost.Sum) with
+      (Dynamics.default_config Game.Sum) with
       Dynamics.rule = Dynamics.Sampled 2;
       max_rounds = 500;
     }
@@ -86,7 +86,7 @@ let test_sampled_convergence_is_certified () =
      quiet sampling pass *)
   let cfg =
     {
-      (Dynamics.default_config Usage_cost.Sum) with
+      (Dynamics.default_config Game.Sum) with
       Dynamics.rule = Dynamics.Sampled 1;
       max_rounds = 1000;
     }
@@ -101,7 +101,7 @@ let test_sampled_convergence_is_certified () =
 
 let test_trace_recording () =
   let cfg =
-    { (Dynamics.default_config Usage_cost.Sum) with Dynamics.record_trace = true }
+    { (Dynamics.default_config Game.Sum) with Dynamics.record_trace = true }
   in
   let r = Dynamics.run cfg (Generators.path 8) in
   check_int "trace length = moves" r.Dynamics.moves (List.length r.Dynamics.trace);
@@ -115,7 +115,7 @@ let test_trace_recording () =
     r.Dynamics.trace
 
 let test_round_limit () =
-  let cfg = { (Dynamics.default_config Usage_cost.Sum) with Dynamics.max_rounds = 0 } in
+  let cfg = { (Dynamics.default_config Game.Sum) with Dynamics.max_rounds = 0 } in
   let r = Dynamics.run cfg (Generators.path 6) in
   check_true "hits limit" (r.Dynamics.outcome = Dynamics.Round_limit);
   check_int "no rounds" 0 r.Dynamics.rounds

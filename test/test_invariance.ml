@@ -43,7 +43,7 @@ let test_dynamics_deterministic =
         let rng = Prng.create seed in
         let cfg =
           {
-            (Dynamics.default_config Usage_cost.Sum) with
+            (Dynamics.default_config Game.Sum) with
             Dynamics.rule = Dynamics.Random_improving;
             schedule = Dynamics.Random_agent;
           }

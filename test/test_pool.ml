@@ -210,10 +210,10 @@ let test_tree_census_determinism () =
           let seq = Census.tree_census version 6 in
           let par = Census.tree_census ~pool version 6 in
           check_true
-            (Usage_cost.version_name version
+            (Game.to_string version
             ^ ": parallel tree census n=6 equals sequential")
             (seq = par))
-        [ Usage_cost.Sum; Usage_cost.Max ])
+        [ Game.Sum; Game.Max ])
 
 let test_graph_census_determinism () =
   Pool.with_pool ~jobs:4 (fun pool ->
@@ -235,7 +235,7 @@ let test_graph_census_determinism () =
           List.iter2
             (fun a b -> check_true "same representative" (Graph.equal a b))
             seq.Census.equilibria_iso par.Census.equilibria_iso)
-        [ Usage_cost.Sum; Usage_cost.Max ])
+        [ Game.Sum; Game.Max ])
 
 let suite =
   [

@@ -292,14 +292,14 @@ let test_differential_sum () =
   for seed = 1 to 25 do
     let n = 5 + (seed mod 6) in
     let g = connected_graph seed n (n - 1 + (seed mod n)) in
-    check_differential Usage_cost.Sum (1 + (seed mod 8)) seed g
+    check_differential Game.Sum (1 + (seed mod 8)) seed g
   done
 
 let test_differential_max () =
   for seed = 1 to 25 do
     let n = 5 + (seed mod 6) in
     let g = connected_graph (100 + seed) n (n - 1 + (seed mod n)) in
-    check_differential Usage_cost.Max (1 + (seed mod 8)) seed g
+    check_differential Game.Max (1 + (seed mod 8)) seed g
   done
 
 let test_differential_larger_budget () =
@@ -307,7 +307,7 @@ let test_differential_larger_budget () =
      all moves; certification has to stay sound under deep cutoffs *)
   for seed = 1 to 8 do
     let g = connected_graph (200 + seed) 8 10 in
-    check_differential Usage_cost.Sum 64 seed g
+    check_differential Game.Sum 64 seed g
   done
 
 (* --- quiescence / trajectory / cycle machinery -------------------------- *)
@@ -316,7 +316,7 @@ let test_quiescence_run () =
   let csr = Scale_gen.ba ~seed:4 ~n:400 ~m:2 in
   let cfg =
     {
-      (Scale_dynamics.default_config Usage_cost.Sum) with
+      (Scale_dynamics.default_config Game.Sum) with
       Scale_dynamics.budget = 8;
       probes_per_round = 64;
       max_rounds = 150;
@@ -344,7 +344,7 @@ let test_scale_run_deterministic () =
   let csr = Scale_gen.ba ~seed:8 ~n:300 ~m:2 in
   let cfg =
     {
-      (Scale_dynamics.default_config Usage_cost.Sum) with
+      (Scale_dynamics.default_config Game.Sum) with
       Scale_dynamics.budget = 6;
       probes_per_round = 32;
       max_rounds = 20;

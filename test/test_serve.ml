@@ -147,15 +147,32 @@ let test_rpc_parse_ok () =
      req_of_string
        (Printf.sprintf "{\"method\":\"check\",\"params\":{\"graph6\":%S}}" star9_g6)
    with
-  | _, Rpc.Check { version = Usage_cost.Sum; _ } -> ()
+  | _, Rpc.Check { game = Game.Sum; _ } -> ()
   | _ -> Alcotest.fail "check defaults to the sum game");
   (match
      req_of_string
        (Printf.sprintf
           "{\"method\":\"check\",\"params\":{\"game\":\"max\",\"graph6\":%S}}" star9_g6)
    with
-  | _, Rpc.Check { version = Usage_cost.Max; _ } -> ()
+  | _, Rpc.Check { game = Game.Max; _ } -> ()
   | _ -> Alcotest.fail "check max");
+  (match
+     req_of_string
+       (Printf.sprintf
+          "{\"method\":\"check\",\"params\":{\"game\":\"alpha:1.5\",\"graph6\":%S}}"
+          star9_g6)
+   with
+  | _, Rpc.Check { game = Game.Alpha 1.5; _ } -> ()
+  | _ -> Alcotest.fail "check alpha");
+  (* pre-registry clients spell the game in a "version" field *)
+  (match
+     req_of_string
+       (Printf.sprintf
+          "{\"method\":\"check\",\"params\":{\"version\":\"max\",\"graph6\":%S}}"
+          star9_g6)
+   with
+  | _, Rpc.Check { game = Game.Max; _ } -> ()
+  | _ -> Alcotest.fail "check legacy version field");
   match
     req_of_string
       "{\"id\":1,\"method\":\"census-shard\",\"params\":{\"kind\":\"trees\",\"game\":\"sum\",\"n\":6,\"lo\":10,\"hi\":20}}"
@@ -170,10 +187,14 @@ let test_rpc_protocol_version () =
   (match req_of_string "{\"v\":1,\"id\":7,\"method\":\"ping\"}" with
   | Jsonx.Int 7, Rpc.Ping -> ()
   | _ -> Alcotest.fail "v:1 ping");
+  (* v:2 (the current version, which added the "game" field) also parses *)
+  (match req_of_string "{\"v\":2,\"id\":8,\"method\":\"ping\"}" with
+  | Jsonx.Int 8, Rpc.Ping -> ()
+  | _ -> Alcotest.fail "v:2 ping");
   (* a version we don't speak: structured refusal, id still echoed *)
-  (match err_of_string "{\"v\":2,\"id\":8,\"method\":\"ping\"}" with
+  (match err_of_string "{\"v\":3,\"id\":8,\"method\":\"ping\"}" with
   | Jsonx.Int 8, Rpc.Unsupported_version -> ()
-  | _ -> Alcotest.fail "v:2 should be unsupported_version");
+  | _ -> Alcotest.fail "v:3 should be unsupported_version");
   (* a malformed version is an envelope error, not a version error *)
   match err_of_string "{\"v\":\"one\",\"method\":\"ping\"}" with
   | _, Rpc.Invalid_request -> ()
@@ -195,9 +216,13 @@ let test_rpc_parse_errors () =
   check_code "missing graph6" Rpc.Invalid_params "{\"method\":\"check\"}";
   check_code "bad graph6" Rpc.Bad_graph6
     "{\"method\":\"check\",\"params\":{\"graph6\":\"\\u0001\"}}";
-  check_code "bad game" Rpc.Invalid_params
+  check_code "bad game" Rpc.Unsupported_game
     (Printf.sprintf
        "{\"method\":\"check\",\"params\":{\"game\":\"median\",\"graph6\":%S}}" star9_g6);
+  check_code "bad legacy version" Rpc.Unsupported_game
+    (Printf.sprintf
+       "{\"method\":\"check\",\"params\":{\"version\":\"median\",\"graph6\":%S}}"
+       star9_g6);
   check_code "missing census n" Rpc.Invalid_params
     "{\"method\":\"census-shard\",\"params\":{\"kind\":\"trees\",\"lo\":0,\"hi\":1}}";
   (* the id still comes back when the envelope is bad but the id itself parsed *)
@@ -264,8 +289,8 @@ let workload_item id =
   match id mod 6 with
   | 0 ->
     let g = star9_centered (id mod 9) in
-    (check_request ~id "sum" g, `Exact (expected_check ~id Usage_cost.Sum g))
-  | 1 -> (check_request ~id "max" torus3, `Exact (expected_check ~id Usage_cost.Max torus3))
+    (check_request ~id "sum" g, `Exact (expected_check ~id Game.Sum g))
+  | 1 -> (check_request ~id "max" torus3, `Exact (expected_check ~id Game.Max torus3))
   | 2 -> (info_request ~id path8, `Exact (expected_info ~id path8))
   | 3 ->
     ( Printf.sprintf "{\"id\":%d,\"method\":\"ping\"}" id,
@@ -354,7 +379,7 @@ let test_e2e_census_shard () =
       ~result:
         (Jsonx.to_string
            (Rpc.tree_census_result
-              (Census.tree_census_in Usage_cost.Sum 6 ~lo:0 ~hi:total)))
+              (Census.tree_census_in Game.Sum 6 ~lo:0 ~hi:total)))
   in
   check_str "sliced tree census" expected reply;
   let masks = Enumerate.graph_mask_count 5 in
@@ -369,7 +394,7 @@ let test_e2e_census_shard () =
       ~result:
         (Jsonx.to_string
            (Rpc.graph_census_result
-              (Census.graph_census_in Usage_cost.Sum 5 ~lo:0 ~hi:masks)))
+              (Census.graph_census_in Game.Sum 5 ~lo:0 ~hi:masks)))
   in
   check_str "sliced graph census" expected reply;
   (* out-of-range shard: structured error, server stays up *)
@@ -396,6 +421,51 @@ let test_e2e_census_shard () =
   in
   check_true "stats advertises protocol_version"
     (advertised = Some Rpc.protocol_version)
+
+let test_e2e_legacy_and_variant_clients () =
+  let sock = temp_sock "legacy" in
+  let srv = Serve.start (e2e_config sock) in
+  Fun.protect ~finally:(fun () -> Serve.stop srv) @@ fun () ->
+  Serve.with_client (Serve.Unix_sock sock) @@ fun c ->
+  let g = star9_centered 0 in
+  let g6 = Jsonx.to_string (Jsonx.Str (Graph6.encode g)) in
+  (* a pre-registry client that names no game at all gets the very same
+     bytes as an explicit sum request — the compat contract *)
+  let bare =
+    Serve.call c
+      (Printf.sprintf "{\"id\":1,\"method\":\"check\",\"params\":{\"graph6\":%s}}" g6)
+  in
+  check_str "no-game request = explicit sum, byte for byte"
+    (Serve.call c
+       (Printf.sprintf
+          "{\"id\":1,\"method\":\"check\",\"params\":{\"game\":\"sum\",\"graph6\":%s}}"
+          g6))
+    bare;
+  check_str "and equals the direct library rendering"
+    (expected_check ~id:1 Game.Sum g) bare;
+  (* the legacy "version" spelling still works *)
+  check_str "legacy version field"
+    (expected_check ~id:2 Game.Max torus3)
+    (Serve.call c
+       (Printf.sprintf
+          "{\"id\":2,\"method\":\"check\",\"params\":{\"version\":\"max\",\"graph6\":%s}}"
+          (Jsonx.to_string (Jsonx.Str (Graph6.encode torus3)))));
+  (* a variant game round-trips through the same entry point *)
+  check_str "alpha check over the wire"
+    (expected_check ~id:3 (Game.Alpha 1.0) g)
+    (Serve.call c (check_request ~id:3 "alpha:1" g));
+  (* a game this server has no registry entry for: structured refusal *)
+  check_true "unknown game refused with unsupported_game"
+    (error_code_of (Serve.call c (check_request ~id:4 "median" g))
+    = Some "unsupported_game");
+  (* the orderly walk cannot count a labeling-dependent game *)
+  check_true "orderly shard rejects alpha"
+    (error_code_of
+       (Serve.call c
+          "{\"id\":5,\"method\":\"census-shard\",\"params\":{\"kind\":\"orderly\",\"game\":\"alpha:1\",\"n\":5,\"lo\":0,\"hi\":1}}")
+    = Some "invalid_params");
+  check_str "still serving" "{\"id\":6,\"ok\":true,\"result\":\"pong\"}"
+    (Serve.call c "{\"id\":6,\"method\":\"ping\"}")
 
 let test_e2e_limits () =
   let sock = temp_sock "limits" in
@@ -449,7 +519,7 @@ let test_e2e_violation_not_canonically_cached () =
       let id = i + 1 in
       check_str
         (Printf.sprintf "violation witness %d" id)
-        (expected_check ~id Usage_cost.Sum g)
+        (expected_check ~id Game.Sum g)
         (Serve.call c (check_request ~id "sum" g)))
     [ p5; relabeled; p5 ]
 
@@ -628,6 +698,7 @@ let suite =
     case "rpc: envelopes" test_rpc_render;
     case "e2e: concurrent clients, byte-identical replies" test_e2e_concurrent_clients;
     case "e2e: census shards merge like direct calls" test_e2e_census_shard;
+    case "e2e: legacy and variant clients" test_e2e_legacy_and_variant_clients;
     case "e2e: request and graph limits" test_e2e_limits;
     case "e2e: violation witnesses are labeling-exact" test_e2e_violation_not_canonically_cached;
     case "e2e: pipelined replies in order, byte-identical" test_e2e_pipelining_in_order;
